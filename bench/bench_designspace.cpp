@@ -1,0 +1,167 @@
+// Regenerates the §3.4 design-space characterisation: "we characterized
+// all the physical devices available in the target platform ... data
+// access times for every container, area, power consumption ...  This
+// characterization of the design space would delimit the region of
+// interest given a certain set of constraints."
+//
+// The bench sweeps container kind x device binding x depth, measures
+// access latency cycle-accurately and area through the estimator, and
+// prints the resulting design-space table.  The two saa2vga rows of
+// Table 3 are exactly two points of this space: the FIFO binding
+// (maximum performance, highest cost — block RAM) and the SRAM binding
+// (much smaller on-chip, performance bound by memory access times).
+#include <cstdio>
+#include <memory>
+
+#include "common/text.hpp"
+#include "core/stream_core.hpp"
+#include "core/stream_sram.hpp"
+#include "devices/sram.hpp"
+#include "estimate/tech.hpp"
+#include "rtl/simulator.hpp"
+
+namespace {
+
+using namespace hwpat;
+
+struct Point {
+  std::string container;
+  std::string device;
+  int depth;
+  double cycles_per_elem;
+  estimate::ResourceReport area;
+};
+
+/// Pushes then pops kN elements through a stream container, measuring
+/// sustained cycles per element.
+struct Tb : rtl::Module {
+  core::StreamWires w;
+  std::unique_ptr<core::SramMasterWires> mw;
+  std::unique_ptr<core::Container> cont;
+  std::unique_ptr<devices::ExternalSram> sram;
+  std::size_t fed = 0, got = 0, total;
+  bool lifo;
+
+  Tb(core::ContainerKind kind, devices::DeviceKind dev, int depth,
+     std::size_t n)
+      : Module(nullptr, "tb"),
+        w(*this, "c", 8, 16),
+        total(n),
+        lifo(kind == core::ContainerKind::Stack) {
+    if (dev == devices::DeviceKind::Sram) {
+      mw = std::make_unique<core::SramMasterWires>(*this, "m", 8, 16);
+      cont = std::make_unique<core::SramStreamContainer>(
+          this, "cont",
+          core::SramStreamContainer::Config{.kind = kind, .elem_bits = 8,
+                                            .capacity = depth},
+          w.impl(), mw->master());
+      sram = std::make_unique<devices::ExternalSram>(
+          this, "sram", devices::SramConfig{.data_width = 8,
+                                            .addr_width = 16},
+          mw->device());
+    } else {
+      cont = std::make_unique<core::CoreStreamContainer>(
+          this, "cont",
+          core::CoreStreamContainer::Config{.kind = kind, .elem_bits = 8,
+                                            .depth = depth},
+          w.impl());
+    }
+  }
+
+  void eval_comb() override {
+    // Stream: feed and drain concurrently (FIFO disciplines); a stack
+    // is exercised fill-then-drain to respect LIFO ordering.
+    const bool feeding = fed < total;
+    if (lifo) {
+      const bool draining = !feeding;
+      w.push.write(feeding && w.can_push.read() && !w.full.read());
+      w.pop.write(draining && got < total && w.can_pop.read());
+    } else {
+      w.push.write(feeding && w.can_push.read());
+      w.pop.write(got < total && w.can_pop.read());
+    }
+    w.push_data.write(static_cast<Word>(fed));
+  }
+
+  void on_clock() override {
+    if (w.push.read() && w.can_push.read()) ++fed;
+    if (w.pop.read() && w.can_pop.read()) ++got;
+  }
+
+  [[nodiscard]] bool finished() const { return got >= total; }
+};
+
+Point measure(core::ContainerKind kind, devices::DeviceKind dev,
+              int depth) {
+  constexpr std::size_t kN = 512;
+  Tb tb(kind, dev, depth, kN);
+  rtl::Simulator sim(tb);
+  sim.reset();
+  sim.run_until([&] { return tb.finished(); }, 2'000'000);
+  Point p;
+  p.container = core::to_string(kind);
+  p.device = devices::to_string(dev);
+  p.depth = depth;
+  p.cycles_per_elem =
+      static_cast<double>(sim.cycle()) / static_cast<double>(kN);
+  p.area = estimate::estimate(tb);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("§3.4 design-space characterisation: container x device x "
+              "depth\n(access latency measured cycle-accurately, area "
+              "from the synthesis estimator)\n\n");
+
+  TextTable t;
+  t.header({"container", "device", "depth", "cyc/elem", "FF", "LUT",
+            "BRAM", "fmax"});
+
+  std::vector<Point> points;
+  for (const int depth : {64, 512, 2048}) {
+    points.push_back(measure(core::ContainerKind::Queue,
+                             devices::DeviceKind::FifoCore, depth));
+    points.push_back(measure(core::ContainerKind::Queue,
+                             devices::DeviceKind::Sram, depth));
+  }
+  points.push_back(measure(core::ContainerKind::Stack,
+                           devices::DeviceKind::LifoCore, 512));
+  points.push_back(measure(core::ContainerKind::Stack,
+                           devices::DeviceKind::Sram, 512));
+  points.push_back(measure(core::ContainerKind::ReadBuffer,
+                           devices::DeviceKind::FifoCore, 512));
+  points.push_back(measure(core::ContainerKind::ReadBuffer,
+                           devices::DeviceKind::Sram, 512));
+
+  for (const Point& p : points) {
+    char cpe[32], fmax[32];
+    std::snprintf(cpe, sizeof cpe, "%.2f", p.cycles_per_elem);
+    std::snprintf(fmax, sizeof fmax, "%.0f", p.area.fmax_mhz);
+    t.row({p.container, p.device, std::to_string(p.depth), cpe,
+           std::to_string(p.area.ff), std::to_string(p.area.lut),
+           std::to_string(p.area.bram), fmax});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Shape: the FIFO point is the fast/expensive corner (1 cyc/elem,
+  // BRAM grows with depth); the SRAM point is the cheap/slow corner
+  // (no BRAM, latency set by the 2-cycle handshake, on-chip cost flat
+  // in depth).
+  const auto& fifo_small = points[0];
+  const auto& fifo_big = points[4];
+  const auto& sram_small = points[1];
+  const auto& sram_big = points[5];
+  const bool ok = fifo_small.cycles_per_elem < 1.5 &&
+                  sram_small.cycles_per_elem > 2.0 &&
+                  fifo_big.area.bram > fifo_small.area.bram &&
+                  sram_big.area.bram == 0 &&
+                  sram_big.area.ff < fifo_big.area.ff + 64;
+  std::printf("shape check: %s — \"the first one provides maximum "
+              "performance at the highest cost; the SRAM implementation "
+              "is much smaller, but performance will depend on memory "
+              "access times\" (§4)\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Regenerates the behaviour behind Figures 1 and 3 of the paper: the
+// video pipeline, modelled with the Iterator pattern, run cycle-
+// accurately over both device bindings and compared against the ad hoc
+// implementations.
+//
+// Printed per design: pixel-exactness of the output versus the camera
+// input (copy must be an identity), cycles per frame, and the pattern-
+// vs-custom cycle overhead — the dynamic counterpart of Table 3's
+// claim that pattern machinery costs nothing.
+#include <cstdio>
+
+#include "common/text.hpp"
+#include "designs/design.hpp"
+#include "rtl/simulator.hpp"
+#include "video/frame.hpp"
+
+namespace {
+
+using namespace hwpat;
+using designs::Saa2VgaConfig;
+using designs::VideoDesign;
+
+struct RunResult {
+  bool exact = false;
+  std::uint64_t cycles = 0;
+  double cycles_per_pixel = 0.0;
+};
+
+RunResult run(VideoDesign& d, const std::vector<video::Frame>& expect) {
+  rtl::Simulator sim(d);
+  sim.reset();
+  RunResult r;
+  r.cycles = 0;
+  sim.run_until([&] { return d.finished(); }, 50'000'000);
+  r.cycles = sim.cycle();
+  r.exact = d.sink().frames() == expect;
+  std::size_t pixels = 0;
+  for (const auto& f : expect) pixels += f.pixel_count();
+  r.cycles_per_pixel =
+      static_cast<double>(r.cycles) / static_cast<double>(pixels);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kW = 64, kH = 48, kFrames = 3;
+  std::printf("Fig. 1/3 pipeline: decoder -> rbuffer =it=> copy =it=> "
+              "wbuffer -> vga  (%dx%d, %d frames)\n\n",
+              kW, kH, kFrames);
+
+  const auto input = designs::camera_frames(kW, kH, kFrames, 1);
+
+  TextTable t;
+  t.header({"Design", "binding", "pixel-exact", "cycles", "cyc/pixel"});
+
+  bool all_exact = true;
+  double pat_fifo = 0, cus_fifo = 0, pat_sram = 0, cus_sram = 0;
+
+  for (const auto device :
+       {devices::DeviceKind::FifoCore, devices::DeviceKind::Sram}) {
+    const Saa2VgaConfig cfg{.width = kW, .height = kH,
+                            .buffer_depth = 128, .device = device,
+                            .frames = kFrames};
+    auto p = designs::make_saa2vga_pattern(cfg);
+    auto c = designs::make_saa2vga_custom(cfg);
+    const auto rp = run(*p, input);
+    const auto rc = run(*c, input);
+    const char* dev = device == devices::DeviceKind::FifoCore
+                          ? "fifo" : "sram";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", rp.cycles_per_pixel);
+    t.row({"saa2vga pattern", dev, rp.exact ? "yes" : "NO",
+           std::to_string(rp.cycles), buf});
+    std::snprintf(buf, sizeof buf, "%.2f", rc.cycles_per_pixel);
+    t.row({"saa2vga custom", dev, rc.exact ? "yes" : "NO",
+           std::to_string(rc.cycles), buf});
+    all_exact = all_exact && rp.exact && rc.exact;
+    if (device == devices::DeviceKind::FifoCore) {
+      pat_fifo = rp.cycles_per_pixel;
+      cus_fifo = rc.cycles_per_pixel;
+    } else {
+      pat_sram = rp.cycles_per_pixel;
+      cus_sram = rc.cycles_per_pixel;
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("observations:\n");
+  std::printf("  * FIFO binding streams at ~1 cycle/pixel; the SRAM "
+              "binding is bound by the 2-cycle memory handshake —\n"
+              "    \"performance will depend on memory access times\" "
+              "(§4).\n");
+  std::printf("  * pattern vs custom cycle ratio: fifo %.3f, sram %.3f "
+              "(1.0 = no overhead).\n",
+              pat_fifo / cus_fifo, pat_sram / cus_sram);
+  std::printf("  * §3.3: retargeting FIFO->SRAM changed no model code — "
+              "only the binding in the spec.\n");
+
+  const bool ok = all_exact && pat_fifo / cus_fifo < 1.1;
+  std::printf("\nshape check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

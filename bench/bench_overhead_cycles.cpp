@@ -1,0 +1,104 @@
+// Dynamic counterpart of Table 3 (google-benchmark): simulated cycles
+// per frame and simulation wall time for pattern vs custom builds of
+// every design row.  The shape to observe: for each pair, the cycle
+// counts are essentially identical — the pattern machinery adds no
+// dynamic overhead either.
+#include <benchmark/benchmark.h>
+
+#include "designs/design.hpp"
+#include "rtl/simulator.hpp"
+
+namespace {
+
+using namespace hwpat;
+using designs::BlurConfig;
+using designs::Saa2VgaConfig;
+
+constexpr int kW = 48, kH = 32;
+
+void run_once(designs::VideoDesign& d, benchmark::State& state) {
+  rtl::Simulator sim(d);
+  sim.reset();
+  sim.run_until([&] { return d.finished(); }, 10'000'000);
+  state.counters["sim_cycles"] =
+      benchmark::Counter(static_cast<double>(sim.cycle()));
+  state.counters["cycles_per_pixel"] = benchmark::Counter(
+      static_cast<double>(sim.cycle()) / (kW * kH));
+}
+
+void BM_Saa2VgaPatternFifo(benchmark::State& state) {
+  const Saa2VgaConfig cfg{.width = kW, .height = kH, .buffer_depth = 64,
+                          .device = devices::DeviceKind::FifoCore};
+  for (auto _ : state) {
+    auto d = designs::make_saa2vga_pattern(cfg);
+    run_once(*d, state);
+  }
+}
+BENCHMARK(BM_Saa2VgaPatternFifo);
+
+void BM_Saa2VgaCustomFifo(benchmark::State& state) {
+  const Saa2VgaConfig cfg{.width = kW, .height = kH, .buffer_depth = 64,
+                          .device = devices::DeviceKind::FifoCore};
+  for (auto _ : state) {
+    auto d = designs::make_saa2vga_custom(cfg);
+    run_once(*d, state);
+  }
+}
+BENCHMARK(BM_Saa2VgaCustomFifo);
+
+void BM_Saa2VgaPatternSram(benchmark::State& state) {
+  const Saa2VgaConfig cfg{.width = kW, .height = kH, .buffer_depth = 64,
+                          .device = devices::DeviceKind::Sram};
+  for (auto _ : state) {
+    auto d = designs::make_saa2vga_pattern(cfg);
+    run_once(*d, state);
+  }
+}
+BENCHMARK(BM_Saa2VgaPatternSram);
+
+void BM_Saa2VgaCustomSram(benchmark::State& state) {
+  const Saa2VgaConfig cfg{.width = kW, .height = kH, .buffer_depth = 64,
+                          .device = devices::DeviceKind::Sram};
+  for (auto _ : state) {
+    auto d = designs::make_saa2vga_custom(cfg);
+    run_once(*d, state);
+  }
+}
+BENCHMARK(BM_Saa2VgaCustomSram);
+
+void BM_BlurPattern(benchmark::State& state) {
+  const BlurConfig cfg{.width = kW, .height = kH};
+  for (auto _ : state) {
+    auto d = designs::make_blur_pattern(cfg);
+    run_once(*d, state);
+  }
+}
+BENCHMARK(BM_BlurPattern);
+
+void BM_BlurCustom(benchmark::State& state) {
+  const BlurConfig cfg{.width = kW, .height = kH};
+  for (auto _ : state) {
+    auto d = designs::make_blur_custom(cfg);
+    run_once(*d, state);
+  }
+}
+BENCHMARK(BM_BlurCustom);
+
+// Kernel microbenchmark: raw simulator throughput.
+void BM_SimulatorKernel(benchmark::State& state) {
+  struct Cnt : rtl::Module {
+    rtl::Bus v{*this, "v", 32};
+    Cnt() : Module(nullptr, "cnt") {}
+    void on_clock() override { v.write(v.read() + 1); }
+  };
+  Cnt top;
+  rtl::Simulator sim(top);
+  sim.reset();
+  for (auto _ : state) sim.step(1000);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorKernel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

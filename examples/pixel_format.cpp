@@ -1,0 +1,166 @@
+// pixel_format: the §3.3 format-change scenario, end to end.
+//
+// "It would also be possible to modify the pixel data representation
+// (from 8-bit grayscale to 24-bit RGB, for example).  Here two
+// different alternatives arise depending on the RAM data bus size:
+// 1) for a 24-bit data bus, we should only regenerate the
+// implementations of the elements using the 24-bit pixel as the base
+// type; 2) for an 8-bit data bus, we should also modify the iterator
+// code to perform three consecutive container reads/writes to get/set
+// the whole pixel."
+//
+// This example runs BOTH alternatives over the same copy model: an RGB
+// frame is streamed through buffers with a 24-bit device bus (wrapper
+// iterators) and through buffers with an 8-bit device bus (generated
+// width-adapting iterators), and the outputs are compared pixel-
+// exactly.  No model code differs between the two runs — only the spec.
+#include <cstdio>
+
+#include "core/algorithm.hpp"
+#include "meta/factory.hpp"
+#include "rtl/simulator.hpp"
+#include "video/frame.hpp"
+
+using namespace hwpat;
+
+namespace {
+
+/// rbuffer -> copy -> wbuffer pipeline whose buffers have a `bus_bits`
+/// wide device bus carrying `elem_bits` wide pixels.
+struct Pipeline : rtl::Module {
+  core::StreamWires rb_w, wb_w;
+  core::IterWires in_iw, out_iw;
+  core::AlgoWires ctl;
+  std::unique_ptr<core::Container> rbuf, wbuf;
+  std::unique_ptr<core::Iterator> it_in, it_out;
+  std::unique_ptr<core::CopyFsm> copy;
+
+  std::vector<Word> pixels;
+  int lanes;
+  std::size_t lanes_fed = 0;
+  std::vector<Word> lanes_got;
+
+  Pipeline(int elem_bits, int bus_bits, std::vector<Word> px)
+      : Module(nullptr, "pipe"),
+        rb_w(*this, "rb", bus_bits, 16),
+        wb_w(*this, "wb", bus_bits, 16),
+        in_iw(*this, "in", elem_bits, 16),
+        out_iw(*this, "out", elem_bits, 16),
+        ctl(*this, "ctl"),
+        pixels(std::move(px)),
+        lanes(ceil_div(elem_bits, bus_bits)) {
+    meta::ContainerSpec rb{.name = "rbuffer",
+                           .kind = core::ContainerKind::ReadBuffer,
+                           .device = devices::DeviceKind::FifoCore,
+                           .elem_bits = elem_bits,
+                           .depth = 32,
+                           .bus_bits = bus_bits,
+                           .addr_bits = 16,
+                           .base_addr = 0,
+                           .used_methods = {},
+                           .shared_device = false};
+    meta::ContainerSpec wb = rb;
+    wb.name = "wbuffer";
+    wb.kind = core::ContainerKind::WriteBuffer;
+    rbuf = meta::build_stream_container(
+        this, rb, meta::StreamBuildPorts{.method = rb_w.impl()});
+    wbuf = meta::build_stream_container(
+        this, wb, meta::StreamBuildPorts{.method = wb_w.impl()});
+    it_in = meta::build_input_iterator(
+        this,
+        {.name = "rit", .traversal = core::Traversal::Forward,
+         .role = core::IterRole::Input, .used_ops = {}, .container = rb},
+        rb_w.consumer(), in_iw.impl());
+    it_out = meta::build_output_iterator(
+        this,
+        {.name = "wit", .traversal = core::Traversal::Forward,
+         .role = core::IterRole::Output, .used_ops = {}, .container = wb},
+        wb_w.producer(), out_iw.impl());
+    copy = std::make_unique<core::CopyFsm>(this, "copy",
+                                           core::CopyFsm::Config{},
+                                           in_iw.client(), out_iw.client(),
+                                           ctl.control());
+  }
+
+  void eval_comb() override {
+    ctl.start.write(true);
+    const int bus = rb_w.push_data.width();
+    const std::size_t lane_total =
+        pixels.size() * static_cast<std::size_t>(lanes);
+    const bool feed = lanes_fed < lane_total && rb_w.can_push.read();
+    rb_w.push.write(feed);
+    if (feed) {
+      const std::size_t pix = lanes_fed / static_cast<std::size_t>(lanes);
+      const int lane = static_cast<int>(
+          lanes_fed % static_cast<std::size_t>(lanes));
+      rb_w.push_data.write(lane_of(pixels[pix], lane, bus));
+    } else {
+      rb_w.push_data.write(0);
+    }
+    wb_w.pop.write(wb_w.can_pop.read());
+  }
+
+  void on_clock() override {
+    const std::size_t lane_total =
+        pixels.size() * static_cast<std::size_t>(lanes);
+    if (lanes_fed < lane_total && rb_w.can_push.read()) ++lanes_fed;
+    if (wb_w.can_pop.read()) lanes_got.push_back(wb_w.front.read());
+  }
+
+  [[nodiscard]] std::vector<Word> result() const {
+    const int bus = rb_w.push_data.width();
+    std::vector<Word> out;
+    for (std::size_t i = 0; i + static_cast<std::size_t>(lanes) <=
+                            lanes_got.size() + 0;
+         i += static_cast<std::size_t>(lanes)) {
+      Word p = 0;
+      for (int l = 0; l < lanes; ++l)
+        p = with_lane(p, l, bus, lanes_got[i + static_cast<std::size_t>(l)]);
+      out.push_back(p);
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool finished() const {
+    return lanes_got.size() ==
+           pixels.size() * static_cast<std::size_t>(lanes);
+  }
+};
+
+std::vector<Word> run(int elem, int bus, const std::vector<Word>& px,
+                      std::uint64_t* cycles) {
+  Pipeline p(elem, bus, px);
+  rtl::Simulator sim(p);
+  sim.reset();
+  sim.run_until([&] { return p.finished(); }, 1'000'000);
+  *cycles = sim.cycle();
+  return p.result();
+}
+
+}  // namespace
+
+int main() {
+  const video::Frame rgb = video::noise_rgb(16, 12, 5);
+  std::printf("copying a %dx%d 24-bit RGB frame through the pattern:\n\n",
+              rgb.width(), rgb.height());
+
+  std::uint64_t cyc24 = 0, cyc8 = 0;
+  const auto out24 = run(24, 24, rgb.pixels(), &cyc24);
+  const auto out8 = run(24, 8, rgb.pixels(), &cyc8);
+
+  const bool ok24 = out24 == rgb.pixels();
+  const bool ok8 = out8 == rgb.pixels();
+  std::printf("alternative 1 — 24-bit device bus (regenerated types):\n");
+  std::printf("  pixel-exact: %s, %llu cycles (%.2f cycles/pixel)\n",
+              ok24 ? "yes" : "NO",
+              static_cast<unsigned long long>(cyc24),
+              static_cast<double>(cyc24) / rgb.pixel_count());
+  std::printf("alternative 2 — 8-bit device bus (width-adapting "
+              "iterators, 3 accesses/pixel):\n");
+  std::printf("  pixel-exact: %s, %llu cycles (%.2f cycles/pixel)\n",
+              ok8 ? "yes" : "NO", static_cast<unsigned long long>(cyc8),
+              static_cast<double>(cyc8) / rgb.pixel_count());
+  std::printf("\nthe copy model was identical in both runs — the "
+              "generator absorbed the format change (§3.3).\n");
+  return ok24 && ok8 ? 0 : 1;
+}

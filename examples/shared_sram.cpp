@@ -1,0 +1,56 @@
+// shared_sram: the §3.4 arbitration scenario.
+//
+// The saa2vga pipeline with BOTH buffers mapped into one physical
+// external SRAM behind the generated arbiter.  The containers, the
+// iterators and the copy algorithm are byte-identical to the two-SRAM
+// version — none of them knows the memory is shared ("transparency
+// refers to the model").  The example runs the two-SRAM and one-SRAM
+// bindings side by side and reports the throughput cost of sharing and
+// the arbiter's grant statistics.
+#include <cstdio>
+
+#include "designs/design.hpp"
+#include "designs/saa2vga_shared.hpp"
+#include "estimate/tech.hpp"
+#include "rtl/simulator.hpp"
+
+using namespace hwpat;
+
+int main() {
+  const designs::Saa2VgaConfig cfg{
+      .width = 48, .height = 32, .buffer_depth = 64,
+      .device = devices::DeviceKind::Sram, .frames = 2};
+
+  std::printf("saa2vga with SRAM-backed buffers, two memory bindings:\n\n");
+
+  auto two = designs::make_saa2vga_pattern(cfg);
+  rtl::Simulator s2(*two);
+  s2.reset();
+  s2.run_until([&] { return two->finished(); }, 50'000'000);
+  std::printf("  two private SRAMs : %8llu cycles\n",
+              static_cast<unsigned long long>(s2.cycle()));
+
+  designs::Saa2VgaPatternShared one(cfg);
+  rtl::Simulator s1(one);
+  s1.reset();
+  s1.run_until([&] { return one.finished(); }, 50'000'000);
+  std::printf("  one shared SRAM   : %8llu cycles (%.2fx slower)\n",
+              static_cast<unsigned long long>(s1.cycle()),
+              static_cast<double>(s1.cycle()) /
+                  static_cast<double>(s2.cycle()));
+
+  const auto& g = one.arbiter().grant_counts();
+  std::printf("\narbiter grants: rbuffer=%llu wbuffer=%llu "
+              "(round-robin)\n",
+              static_cast<unsigned long long>(g[0]),
+              static_cast<unsigned long long>(g[1]));
+
+  const bool same =
+      two->sink().frames() == one.sink().frames() &&
+      !two->sink().frames().empty();
+  std::printf("outputs of both bindings identical: %s\n",
+              same ? "yes" : "NO");
+  std::printf("\nno model code differed between the runs — the arbiter "
+              "was inserted by the generator (§3.4).\n");
+  return same ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Small bit-manipulation helpers used by the RTL kernel, the device
+// models and the resource estimator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace hwpat {
+
+using Word = std::uint64_t;
+
+/// Maximum width, in bits, of a single hardware bus modelled by a Word.
+inline constexpr int kMaxBusBits = 64;
+
+/// All-ones mask of `bits` low bits.  `bits` must be in [0, 64].
+[[nodiscard]] constexpr Word mask_of(int bits) {
+  return bits <= 0    ? Word{0}
+         : bits >= 64 ? ~Word{0}
+                      : ((Word{1} << bits) - 1);
+}
+
+/// Truncate `v` to its low `bits` bits.
+[[nodiscard]] constexpr Word truncate(Word v, int bits) {
+  return v & mask_of(bits);
+}
+
+/// Number of bits needed to represent values 0..n-1 (an address for a
+/// depth-n memory).  clog2(1) == 0, clog2(2) == 1, clog2(5) == 3.
+[[nodiscard]] constexpr int clog2(Word n) {
+  int b = 0;
+  Word c = 1;
+  while (c < n) {
+    c <<= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// Number of bits needed to hold the value n itself (a counter that must
+/// reach n).  bits_for(4) == 3.
+[[nodiscard]] constexpr int bits_for(Word n) { return clog2(n + 1); }
+
+/// Ceiling division for positive integers.
+[[nodiscard]] constexpr int ceil_div(int a, int b) {
+  HWPAT_ASSERT(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Extract bit `i` of `v`.
+[[nodiscard]] constexpr bool bit_of(Word v, int i) {
+  return ((v >> i) & Word{1}) != 0;
+}
+
+/// Extract the byte-lane `lane` of width `lane_bits` from `v`.
+[[nodiscard]] constexpr Word lane_of(Word v, int lane, int lane_bits) {
+  return truncate(v >> (lane * lane_bits), lane_bits);
+}
+
+/// Insert `lane_v` into lane `lane` of `v`.
+[[nodiscard]] constexpr Word with_lane(Word v, int lane, int lane_bits,
+                                       Word lane_v) {
+  const Word m = mask_of(lane_bits) << (lane * lane_bits);
+  return (v & ~m) | ((truncate(lane_v, lane_bits) << (lane * lane_bits)) & m);
+}
+
+}  // namespace hwpat

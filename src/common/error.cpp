@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace hwpat {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "internal assertion failed: " << expr << " at " << file << ":" << line;
+  throw InternalError(os.str());
+}
+
+}  // namespace hwpat

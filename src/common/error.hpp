@@ -1,0 +1,56 @@
+// Error types shared across the hwpat library.
+//
+// All misuse of the library (illegal container/device bindings, iterator
+// operations outside their applicability set, combinational loops in user
+// processes, malformed generator specs) is reported by throwing a subclass
+// of hwpat::Error.  Internal invariant violations use HWPAT_ASSERT, which
+// throws InternalError so tests can exercise failure paths without
+// aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hwpat {
+
+/// Base class for all errors raised by the hwpat library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The design's combinational logic did not settle within the delta-cycle
+/// bound: almost always a combinational feedback loop.
+class CombLoopError : public Error {
+ public:
+  explicit CombLoopError(const std::string& what) : Error(what) {}
+};
+
+/// A container/iterator specification violates the applicability rules of
+/// Table 1 or Table 2 of the paper (e.g. `index` on a sequential iterator,
+/// or a queue mapped onto a device that cannot implement it).
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error(what) {}
+};
+
+/// A simulation-time protocol violation on a device or iterator interface
+/// (e.g. popping an empty read buffer, two method strobes in one cycle on
+/// a single-issue interface).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation inside the library itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+
+}  // namespace hwpat
+
+#define HWPAT_ASSERT(expr) \
+  ((expr) ? (void)0 : ::hwpat::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,205 @@
+#include "core/algorithm.hpp"
+
+namespace hwpat::core {
+
+Algorithm::Algorithm(Module* parent, std::string name, AlgoControl ctl)
+    : Module(parent, std::move(name)), ctl_(ctl) {}
+
+void Algorithm::eval_comb() { ctl_.busy.write(running_); }
+
+void Algorithm::on_reset() {
+  running_ = false;
+  transfers_ = 0;
+}
+
+bool Algorithm::clock_control() {
+  ctl_.done.write(false);
+  const bool was_running = running_;
+  if (!running_ && ctl_.start.read()) {
+    running_ = true;
+    transfers_ = 0;
+  }
+  // Return the *pre-edge* state: the combinational strobes this cycle
+  // were produced from it, so work may only be counted when it is set.
+  return was_running;
+}
+
+void Algorithm::count_transfer(std::uint64_t total) {
+  ++transfers_;
+  if (total != 0 && transfers_ >= total) {
+    running_ = false;
+    ctl_.done.write(true);
+  }
+}
+
+// ---------------------------------------------------------------------
+// TransformFsm
+// ---------------------------------------------------------------------
+
+TransformFsm::TransformFsm(Module* parent, std::string name, Config cfg,
+                           IterClient in, IterClient out, AlgoControl ctl)
+    : Algorithm(parent, std::move(name), ctl),
+      cfg_(std::move(cfg)),
+      in_(in),
+      out_(out) {
+  HWPAT_ASSERT(cfg_.in_advance == Op::Inc || cfg_.in_advance == Op::Dec);
+  HWPAT_ASSERT(cfg_.out_advance == Op::Inc || cfg_.out_advance == Op::Dec);
+  HWPAT_ASSERT(static_cast<bool>(cfg_.op.fn));
+}
+
+bool TransformFsm::transfer_now() const {
+  return running() && in_.ready.read() && in_.rvalid.read() &&
+         out_.ready.read();
+}
+
+void TransformFsm::drive_advance(IterClient& it, Op which, bool v) {
+  if (which == Op::Dec) {
+    it.dec.write(v);
+    it.inc.write(false);
+  } else {
+    it.inc.write(v);
+    it.dec.write(false);
+  }
+}
+
+void TransformFsm::eval_comb() {
+  Algorithm::eval_comb();
+  const bool go = transfer_now();
+  in_.read.write(go);
+  drive_advance(in_, cfg_.in_advance, go);
+  in_.write.write(false);
+  in_.index_op.write(false);
+  out_.write.write(go);
+  drive_advance(out_, cfg_.out_advance, go);
+  out_.read.write(false);
+  out_.index_op.write(false);
+  out_.wdata.write(cfg_.op(in_.rdata.read()));
+}
+
+void TransformFsm::on_clock() {
+  if (!clock_control()) return;
+  if (transfer_now()) count_transfer(cfg_.count);
+}
+
+void TransformFsm::report(rtl::PrimitiveTally& t) const {
+  // Control: run flag + (for bounded runs) the transfer counter.
+  t.regs(1);
+  if (cfg_.count != 0) {
+    const int cb = bits_for(cfg_.count);
+    t.regs(cb).adder(cb).comparator(cb);
+  }
+  t.lut(2);  // the go/handshake gating
+  t.add(cfg_.op.cost);
+  t.depth(2);
+}
+
+// ---------------------------------------------------------------------
+// CopyFsm
+// ---------------------------------------------------------------------
+
+CopyFsm::CopyFsm(Module* parent, std::string name, Config cfg,
+                 IterClient in, IterClient out, AlgoControl ctl)
+    : TransformFsm(parent, std::move(name),
+                   TransformFsm::Config{
+                       .count = cfg.count,
+                       .in_advance = cfg.in_advance,
+                       .out_advance = cfg.out_advance,
+                       .op = ops_lib::identity(in.rdata.width())},
+                   in, out, ctl) {}
+
+// ---------------------------------------------------------------------
+// FillFsm
+// ---------------------------------------------------------------------
+
+FillFsm::FillFsm(Module* parent, std::string name, Config cfg,
+                 IterClient out, AlgoControl ctl)
+    : Algorithm(parent, std::move(name), ctl), cfg_(cfg), out_(out) {
+  HWPAT_ASSERT(cfg_.count >= 1);
+}
+
+bool FillFsm::transfer_now() const {
+  return running() && out_.ready.read();
+}
+
+void FillFsm::eval_comb() {
+  Algorithm::eval_comb();
+  const bool go = transfer_now();
+  out_.write.write(go);
+  out_.inc.write(go);
+  out_.dec.write(false);
+  out_.read.write(false);
+  out_.index_op.write(false);
+  out_.wdata.write(cfg_.value);
+}
+
+void FillFsm::on_clock() {
+  if (!clock_control()) return;
+  if (transfer_now()) count_transfer(cfg_.count);
+}
+
+void FillFsm::report(rtl::PrimitiveTally& t) const {
+  const int cb = bits_for(cfg_.count);
+  t.regs(1 + cb).adder(cb).comparator(cb).lut(1).depth(2);
+}
+
+// ---------------------------------------------------------------------
+// ReduceFsm
+// ---------------------------------------------------------------------
+
+ReduceFsm::ReduceFsm(Module* parent, std::string name, Config cfg,
+                     IterClient in, Bus& result, AlgoControl ctl)
+    : Algorithm(parent, std::move(name), ctl),
+      cfg_(std::move(cfg)),
+      in_(in),
+      result_(result),
+      acc_(cfg_.op.identity) {
+  HWPAT_ASSERT(cfg_.count >= 1);
+  HWPAT_ASSERT(static_cast<bool>(cfg_.op.fn));
+}
+
+bool ReduceFsm::transfer_now() const {
+  return running() && in_.ready.read() && in_.rvalid.read();
+}
+
+void ReduceFsm::eval_comb() {
+  Algorithm::eval_comb();
+  const bool go = transfer_now();
+  in_.read.write(go);
+  if (cfg_.in_advance == Op::Dec) {
+    in_.dec.write(go);
+    in_.inc.write(false);
+  } else {
+    in_.inc.write(go);
+    in_.dec.write(false);
+  }
+  in_.write.write(false);
+  in_.index_op.write(false);
+  result_.write(acc_);
+}
+
+void ReduceFsm::on_clock() {
+  if (!clock_control()) {
+    if (running()) acc_ = cfg_.op.identity;  // run starts this edge
+    return;
+  }
+  if (transfer_now()) {
+    acc_ = truncate(cfg_.op(acc_, in_.rdata.read()), result_.width());
+    count_transfer(cfg_.count);
+  }
+}
+
+void ReduceFsm::on_reset() {
+  Algorithm::on_reset();
+  acc_ = cfg_.op.identity;
+}
+
+void ReduceFsm::report(rtl::PrimitiveTally& t) const {
+  const int cb = bits_for(cfg_.count);
+  t.regs(1 + cb + result_.width());
+  t.adder(cb);
+  t.comparator(cb);
+  t.add(cfg_.op.cost);
+  t.depth(2);
+}
+
+}  // namespace hwpat::core

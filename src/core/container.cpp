@@ -1,0 +1,18 @@
+#include "core/container.hpp"
+
+namespace hwpat::core {
+
+Container::Container(Module* parent, std::string name, ContainerKind kind,
+                     DeviceKind device, int elem_bits)
+    : Module(parent, std::move(name)),
+      kind_(kind),
+      device_(device),
+      elem_bits_(elem_bits) {
+  if (!device_legal(kind, device))
+    throw SpecError("container '" + this->name() + "': kind " +
+                    to_string(kind) + " cannot be mapped onto device " +
+                    devices::to_string(device));
+  HWPAT_ASSERT(elem_bits >= 1 && elem_bits <= kMaxBusBits);
+}
+
+}  // namespace hwpat::core

@@ -1,0 +1,30 @@
+// Container: base class of every Aggregate in the hardware Iterator
+// pattern.  A container couples a *kind* (the abstract collection the
+// model talks about — Table 1) with a *device binding* (the physical
+// storage it is implemented over — §3.4).  Rebinding a container to a
+// different device never changes the model: that is the reuse claim the
+// paper makes with the saa2vga FIFO→SRAM retarget.
+#pragma once
+
+#include "core/ops.hpp"
+#include "core/ports.hpp"
+#include "rtl/module.hpp"
+
+namespace hwpat::core {
+
+class Container : public rtl::Module {
+ public:
+  Container(Module* parent, std::string name, ContainerKind kind,
+            DeviceKind device, int elem_bits);
+
+  [[nodiscard]] ContainerKind kind() const { return kind_; }
+  [[nodiscard]] DeviceKind device() const { return device_; }
+  [[nodiscard]] int elem_bits() const { return elem_bits_; }
+
+ private:
+  ContainerKind kind_;
+  DeviceKind device_;
+  int elem_bits_;
+};
+
+}  // namespace hwpat::core

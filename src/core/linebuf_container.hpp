@@ -1,0 +1,46 @@
+// LineBufferContainer: the "special" read-buffer binding of the paper's
+// blur example — a read buffer mapped over a 3-line buffer device, so
+// that each pop delivers a whole 3-pixel column.
+//
+// The push side accepts single pixels (raster order, with a
+// start-of-frame strobe); the pop side delivers packed columns of
+// 3 * pixel_width bits.  Like the FIFO binding, the container itself is
+// a pure wrapper: the device child reports the storage.
+#pragma once
+
+#include <memory>
+
+#include "core/container.hpp"
+#include "devices/linebuffer.hpp"
+
+namespace hwpat::core {
+
+class LineBufferContainer : public Container {
+ public:
+  struct Config {
+    int pixel_bits = 8;
+    int line_width = 64;
+    int col_fifo_depth = 4;
+    bool strict = true;
+  };
+
+  /// `p.push_data` must be pixel_bits wide and `p.front` 3*pixel_bits
+  /// wide; `sof` is asserted together with push on a frame's first
+  /// pixel.
+  LineBufferContainer(Module* parent, std::string name, Config cfg,
+                      StreamImpl p, const Bit& sof);
+
+  void eval_comb() override;
+  void report(rtl::PrimitiveTally&) const override {}  // pure wrapper
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] int column_bits() const { return 3 * cfg_.pixel_bits; }
+
+ private:
+  Config cfg_;
+  StreamImpl p_;
+  Bit wr_ready_;
+  std::unique_ptr<devices::LineBuffer3> dev_;
+};
+
+}  // namespace hwpat::core

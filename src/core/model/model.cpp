@@ -1,0 +1,100 @@
+#include "core/model/model.hpp"
+
+namespace hwpat::core::model {
+
+std::vector<Word> blur3x3(const std::vector<Word>& img, int width,
+                          int height, int pixel_bits) {
+  HWPAT_ASSERT(width >= 3 && height >= 3);
+  HWPAT_ASSERT(img.size() == static_cast<std::size_t>(width) *
+                                 static_cast<std::size_t>(height));
+  const auto at = [&](int x, int y) {
+    return truncate(img[static_cast<std::size_t>(y) *
+                            static_cast<std::size_t>(width) +
+                        static_cast<std::size_t>(x)],
+                    pixel_bits);
+  };
+  std::vector<Word> out;
+  out.reserve(static_cast<std::size_t>(width - 2) *
+              static_cast<std::size_t>(height - 2));
+  static constexpr int kKernel[3][3] = {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};
+  for (int y = 1; y < height - 1; ++y) {
+    for (int x = 1; x < width - 1; ++x) {
+      Word sum = 0;
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx)
+          sum += static_cast<Word>(kKernel[dy + 1][dx + 1]) *
+                 at(x + dx, y + dy);
+      out.push_back(truncate(sum >> 4, pixel_bits));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Union-find root with path compression.
+Word find_root(std::vector<Word>& parent, Word x) {
+  while (parent[static_cast<std::size_t>(x)] != x) {
+    parent[static_cast<std::size_t>(x)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    x = parent[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<Word> label4(const std::vector<Word>& binary, int width,
+                         int height, std::size_t* num_labels) {
+  HWPAT_ASSERT(width >= 1 && height >= 1);
+  HWPAT_ASSERT(binary.size() == static_cast<std::size_t>(width) *
+                                    static_cast<std::size_t>(height));
+  std::vector<Word> labels(binary.size(), 0);
+  std::vector<Word> parent{0};  // parent[0] = background sentinel
+
+  const auto at = [&](int x, int y) -> Word& {
+    return labels[static_cast<std::size_t>(y) *
+                      static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  };
+
+  // Pass 1: provisional labels + equivalences.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (binary[static_cast<std::size_t>(y) *
+                     static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(x)] == 0)
+        continue;
+      const Word left = x > 0 ? at(x - 1, y) : 0;
+      const Word top = y > 0 ? at(x, y - 1) : 0;
+      if (left == 0 && top == 0) {
+        parent.push_back(static_cast<Word>(parent.size()));
+        at(x, y) = static_cast<Word>(parent.size() - 1);
+      } else if (left != 0 && top != 0) {
+        const Word rl = find_root(parent, left);
+        const Word rt = find_root(parent, top);
+        const Word r = std::min(rl, rt);
+        parent[static_cast<std::size_t>(rl)] = r;
+        parent[static_cast<std::size_t>(rt)] = r;
+        at(x, y) = r;
+      } else {
+        at(x, y) = left != 0 ? left : top;
+      }
+    }
+  }
+
+  // Pass 2: resolve to dense labels in first-encounter order.
+  std::vector<Word> dense(parent.size(), 0);
+  Word next = 0;
+  for (Word& l : labels) {
+    if (l == 0) continue;
+    const Word root = find_root(parent, l);
+    if (dense[static_cast<std::size_t>(root)] == 0)
+      dense[static_cast<std::size_t>(root)] = ++next;
+    l = dense[static_cast<std::size_t>(root)];
+  }
+  if (num_labels != nullptr) *num_labels = next;
+  return labels;
+}
+
+}  // namespace hwpat::core::model

@@ -1,0 +1,189 @@
+// Software golden models of the basic component library.
+//
+// These are plain C++ (STL-style) implementations of the same
+// containers and algorithms the RTL library provides.  They serve two
+// purposes: (1) they are the executable specification the RTL is tested
+// against — every hardware container/algorithm result must match its
+// model; (2) they illustrate the paper's thesis that the *model* (the
+// pattern-level description) is what gets reused: the same copy/
+// transform/blur algorithms run here against software containers and in
+// RTL against FIFO-, SRAM- or line-buffer-backed ones.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace hwpat::core::model {
+
+/// Bounded FIFO queue: the model of queue / read buffer / write buffer.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : cap_(capacity) {
+    HWPAT_ASSERT(capacity >= 1);
+  }
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] bool full() const { return q_.size() >= cap_; }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  void push(const T& v) {
+    if (full()) throw ProtocolError("model queue: push while full");
+    q_.push_back(v);
+  }
+  [[nodiscard]] const T& front() const {
+    if (empty()) throw ProtocolError("model queue: front while empty");
+    return q_.front();
+  }
+  T pop() {
+    if (empty()) throw ProtocolError("model queue: pop while empty");
+    T v = q_.front();
+    q_.pop_front();
+    return v;
+  }
+
+ private:
+  std::deque<T> q_;
+  std::size_t cap_;
+};
+
+/// Bounded LIFO stack.
+template <typename T>
+class BoundedStack {
+ public:
+  explicit BoundedStack(std::size_t capacity) : cap_(capacity) {
+    HWPAT_ASSERT(capacity >= 1);
+  }
+
+  [[nodiscard]] bool empty() const { return s_.empty(); }
+  [[nodiscard]] bool full() const { return s_.size() >= cap_; }
+  [[nodiscard]] std::size_t size() const { return s_.size(); }
+
+  void push(const T& v) {
+    if (full()) throw ProtocolError("model stack: push while full");
+    s_.push_back(v);
+  }
+  [[nodiscard]] const T& top() const {
+    if (empty()) throw ProtocolError("model stack: top while empty");
+    return s_.back();
+  }
+  T pop() {
+    if (empty()) throw ProtocolError("model stack: pop while empty");
+    T v = s_.back();
+    s_.pop_back();
+    return v;
+  }
+
+ private:
+  std::vector<T> s_;
+  std::size_t cap_;
+};
+
+/// Fixed-length random-access vector.
+template <typename T>
+class FixedVector {
+ public:
+  explicit FixedVector(std::size_t length, T init = T{})
+      : v_(length, init) {
+    HWPAT_ASSERT(length >= 1);
+  }
+
+  [[nodiscard]] std::size_t length() const { return v_.size(); }
+  [[nodiscard]] const T& read(std::size_t i) const {
+    if (i >= v_.size())
+      throw ProtocolError("model vector: index out of range");
+    return v_[i];
+  }
+  void write(std::size_t i, const T& val) {
+    if (i >= v_.size())
+      throw ProtocolError("model vector: index out of range");
+    v_[i] = val;
+  }
+  [[nodiscard]] const std::vector<T>& raw() const { return v_; }
+
+ private:
+  std::vector<T> v_;
+};
+
+/// Bounded associative array (the hash container's model).
+template <typename K, typename V>
+class AssocArray {
+ public:
+  explicit AssocArray(std::size_t capacity) : cap_(capacity) {
+    HWPAT_ASSERT(capacity >= 1);
+  }
+
+  [[nodiscard]] std::size_t size() const { return m_.size(); }
+  [[nodiscard]] bool full() const { return m_.size() >= cap_; }
+
+  /// Returns true when the key was already present (value overwritten).
+  bool insert(const K& k, const V& v) {
+    auto it = m_.find(k);
+    if (it != m_.end()) {
+      it->second = v;
+      return true;
+    }
+    if (full()) throw ProtocolError("model assoc: insert while full");
+    m_.emplace(k, v);
+    return false;
+  }
+  [[nodiscard]] std::optional<V> lookup(const K& k) const {
+    auto it = m_.find(k);
+    if (it == m_.end()) return std::nullopt;
+    return it->second;
+  }
+  /// Returns true when the key was present.
+  bool remove(const K& k) { return m_.erase(k) > 0; }
+
+ private:
+  std::unordered_map<K, V> m_;
+  std::size_t cap_;
+};
+
+// ---------------------------------------------------------------------
+// Algorithms (the executable specification of the RTL FSMs)
+// ---------------------------------------------------------------------
+
+/// copy / transform: drain n elements from src into dst through f.
+template <typename Src, typename Dst, typename F>
+void transform_n(Src& src, Dst& dst, std::size_t n, F&& f) {
+  for (std::size_t i = 0; i < n; ++i) dst.push(f(src.pop()));
+}
+
+template <typename Src, typename Dst>
+void copy_n(Src& src, Dst& dst, std::size_t n) {
+  transform_n(src, dst, n, [](auto v) { return v; });
+}
+
+/// fold n elements of src through op starting from seed.
+template <typename Src, typename F, typename T>
+[[nodiscard]] T reduce_n(Src& src, std::size_t n, T seed, F&& op) {
+  T acc = seed;
+  for (std::size_t i = 0; i < n; ++i) acc = op(acc, src.pop());
+  return acc;
+}
+
+/// Reference 3x3 Gaussian blur ([1 2 1; 2 4 2; 1 2 1]/16) over a raster
+/// image; returns the (w-2)x(h-2) interior, matching the RTL BlurFsm.
+[[nodiscard]] std::vector<Word> blur3x3(const std::vector<Word>& img,
+                                        int width, int height,
+                                        int pixel_bits);
+
+/// Binary image labelling (4-connectivity connected components), the
+/// image-processing domain algorithm §3.2.3 names alongside pixel-wise
+/// and convolution filtering.  Classic two-pass algorithm: provisional
+/// labels with an equivalence table in the raster pass, then a
+/// union-find resolution pass.  Background (0) pixels stay 0; component
+/// labels are 1..n in first-encounter order.  Returns the label map;
+/// `num_labels`, when given, receives the component count.
+[[nodiscard]] std::vector<Word> label4(const std::vector<Word>& binary,
+                                       int width, int height,
+                                       std::size_t* num_labels = nullptr);
+
+}  // namespace hwpat::core::model

@@ -1,0 +1,169 @@
+#include "core/ops.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace hwpat::core {
+
+std::string to_string(ContainerKind k) {
+  switch (k) {
+    case ContainerKind::Stack: return "stack";
+    case ContainerKind::Queue: return "queue";
+    case ContainerKind::ReadBuffer: return "rbuffer";
+    case ContainerKind::WriteBuffer: return "wbuffer";
+    case ContainerKind::Vector: return "vector";
+    case ContainerKind::AssocArray: return "assoc_array";
+  }
+  throw InternalError("unknown ContainerKind");
+}
+
+std::string to_string(Traversal t) {
+  switch (t) {
+    case Traversal::Forward: return "forward";
+    case Traversal::Backward: return "backward";
+    case Traversal::Bidirectional: return "bidirectional";
+    case Traversal::Random: return "random";
+  }
+  throw InternalError("unknown Traversal");
+}
+
+std::string to_string(IterRole r) {
+  switch (r) {
+    case IterRole::Input: return "input";
+    case IterRole::Output: return "output";
+    case IterRole::InputOutput: return "input_output";
+  }
+  throw InternalError("unknown IterRole");
+}
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::Inc: return "inc";
+    case Op::Dec: return "dec";
+    case Op::Read: return "read";
+    case Op::Write: return "write";
+    case Op::Index: return "index";
+  }
+  throw InternalError("unknown Op");
+}
+
+std::vector<Op> OpSet::to_vector() const {
+  std::vector<Op> v;
+  for (Op op : {Op::Inc, Op::Dec, Op::Read, Op::Write, Op::Index})
+    if (contains(op)) v.push_back(op);
+  return v;
+}
+
+std::string OpSet::str() const {
+  std::vector<std::string> names;
+  for (Op op : to_vector()) names.push_back(to_string(op));
+  return "{" + join(names, ", ") + "}";
+}
+
+std::optional<Traversal> sequential_traversal(ContainerKind k,
+                                              IterRole role) {
+  const bool in = role == IterRole::Input || role == IterRole::InputOutput;
+  const bool out = role == IterRole::Output || role == IterRole::InputOutput;
+  switch (k) {
+    case ContainerKind::Stack:
+      // Consuming a stack walks backwards (LIFO); filling it walks
+      // forwards.  A stack admits no single iterator that both reads
+      // and writes.
+      if (role == IterRole::Input) return Traversal::Backward;
+      if (role == IterRole::Output) return Traversal::Forward;
+      return std::nullopt;
+    case ContainerKind::Queue:
+      if (role == IterRole::Input) return Traversal::Forward;
+      if (role == IterRole::Output) return Traversal::Forward;
+      return std::nullopt;
+    case ContainerKind::ReadBuffer:
+      if (role == IterRole::Input) return Traversal::Forward;
+      return std::nullopt;
+    case ContainerKind::WriteBuffer:
+      if (role == IterRole::Output) return Traversal::Forward;
+      return std::nullopt;
+    case ContainerKind::Vector:
+      // "F, B" for both input and output: bidirectional, any role.
+      if (in || out) return Traversal::Bidirectional;
+      return std::nullopt;
+    case ContainerKind::AssocArray:
+      return std::nullopt;  // no sequential traversal at all
+  }
+  throw InternalError("unknown ContainerKind");
+}
+
+bool random_access(ContainerKind k, IterRole role) {
+  (void)role;  // Table 1 grants random access symmetrically.
+  switch (k) {
+    case ContainerKind::Vector:
+    case ContainerKind::AssocArray:
+      return true;
+    default:
+      return false;
+  }
+}
+
+OpSet ops_for(Traversal t, IterRole role) {
+  OpSet s;
+  switch (t) {
+    case Traversal::Forward:
+      s.insert(Op::Inc);
+      break;
+    case Traversal::Backward:
+      s.insert(Op::Dec);
+      break;
+    case Traversal::Bidirectional:
+      s.insert(Op::Inc);
+      s.insert(Op::Dec);
+      break;
+    case Traversal::Random:
+      s.insert(Op::Index);
+      break;
+  }
+  if (role == IterRole::Input || role == IterRole::InputOutput)
+    s.insert(Op::Read);
+  if (role == IterRole::Output || role == IterRole::InputOutput)
+    s.insert(Op::Write);
+  return s;
+}
+
+bool iterator_admissible(ContainerKind k, Traversal t, IterRole role) {
+  if (t == Traversal::Random) {
+    // AssocArray random access happens through keys on the container
+    // method interface, not through a positional iterator.
+    if (k == ContainerKind::AssocArray) return false;
+    return random_access(k, role);
+  }
+  const auto allowed = sequential_traversal(k, role);
+  if (!allowed) return false;
+  if (*allowed == Traversal::Bidirectional)
+    return t == Traversal::Forward || t == Traversal::Backward ||
+           t == Traversal::Bidirectional;
+  return t == *allowed;
+}
+
+std::vector<DeviceKind> legal_devices(ContainerKind k) {
+  switch (k) {
+    case ContainerKind::Stack:
+      return {DeviceKind::LifoCore, DeviceKind::Sram, DeviceKind::BlockRam};
+    case ContainerKind::Queue:
+    case ContainerKind::WriteBuffer:
+      return {DeviceKind::FifoCore, DeviceKind::Sram, DeviceKind::BlockRam};
+    case ContainerKind::ReadBuffer:
+      return {DeviceKind::FifoCore, DeviceKind::Sram, DeviceKind::BlockRam,
+              DeviceKind::LineBuffer3};
+    case ContainerKind::Vector:
+    case ContainerKind::AssocArray:
+      return {DeviceKind::Sram, DeviceKind::BlockRam};
+  }
+  throw InternalError("unknown ContainerKind");
+}
+
+bool device_legal(ContainerKind k, DeviceKind d) {
+  const auto v = legal_devices(k);
+  return std::find(v.begin(), v.end(), d) != v.end();
+}
+
+}  // namespace hwpat::core

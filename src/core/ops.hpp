@@ -1,0 +1,115 @@
+// The vocabulary of the basic component library: container kinds,
+// iterator traversals and roles, iterator operations, and the
+// admissibility rules of Table 1 and Table 2 of the paper.
+//
+// Table 1 (containers):
+//                random        sequential
+//                in     out    in      out
+//   stack        -      -      F       B
+//   queue        -      -      F       F
+//   read buffer  -      -      F       -
+//   write buffer -      -      -       F
+//   vector       yes    yes    F,B     F,B
+//   assoc array  yes    yes    -       -
+//
+// Table 2 (iterator operations):
+//   inc    move forward     F / F,B
+//   dec    move backwards   B / F,B
+//   read   get the element  random / F,B
+//   write  put the element  random / F,B
+//   index  set position     random
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devices/device.hpp"
+
+namespace hwpat::core {
+
+using devices::DeviceKind;
+
+enum class ContainerKind { Stack, Queue, ReadBuffer, WriteBuffer, Vector, AssocArray };
+enum class Traversal { Forward, Backward, Bidirectional, Random };
+enum class IterRole { Input, Output, InputOutput };
+enum class Op : std::uint8_t { Inc = 0, Dec, Read, Write, Index };
+
+[[nodiscard]] std::string to_string(ContainerKind k);
+[[nodiscard]] std::string to_string(Traversal t);
+[[nodiscard]] std::string to_string(IterRole r);
+[[nodiscard]] std::string to_string(Op op);
+
+/// A small value-type set of iterator operations.
+class OpSet {
+ public:
+  constexpr OpSet() = default;
+  constexpr OpSet(std::initializer_list<Op> ops) {
+    for (Op op : ops) insert(op);
+  }
+
+  constexpr void insert(Op op) { bits_ |= bit(op); }
+  constexpr void erase(Op op) { bits_ &= ~bit(op); }
+  [[nodiscard]] constexpr bool contains(Op op) const {
+    return (bits_ & bit(op)) != 0;
+  }
+  [[nodiscard]] constexpr bool subset_of(OpSet o) const {
+    return (bits_ & ~o.bits_) == 0;
+  }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr std::size_t size() const {
+    std::size_t n = 0;
+    for (std::uint8_t b = bits_; b != 0; b &= static_cast<std::uint8_t>(b - 1))
+      ++n;
+    return n;
+  }
+  [[nodiscard]] constexpr OpSet intersect(OpSet o) const {
+    OpSet r;
+    r.bits_ = bits_ & o.bits_;
+    return r;
+  }
+  [[nodiscard]] std::vector<Op> to_vector() const;
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr bool operator==(OpSet a, OpSet b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint8_t bit(Op op) {
+    return static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(op));
+  }
+  std::uint8_t bits_ = 0;
+};
+
+/// Table 1, sequential columns: the traversal a container admits for the
+/// given role, or nullopt when it admits none.  Bidirectional is
+/// reported for vector ("F, B").
+[[nodiscard]] std::optional<Traversal> sequential_traversal(ContainerKind k,
+                                                            IterRole role);
+
+/// Table 1, random columns: whether the container admits random access
+/// in the given role.
+[[nodiscard]] bool random_access(ContainerKind k, IterRole role);
+
+/// Table 2: the operation set of an iterator of the given traversal and
+/// role.  Read belongs to Input/InputOutput roles, Write to
+/// Output/InputOutput; inc/dec/index follow the traversal.
+[[nodiscard]] OpSet ops_for(Traversal t, IterRole role);
+
+/// True when a `t`-traversal, `role` iterator over container `k` is
+/// admissible per Tables 1 and 2.
+[[nodiscard]] bool iterator_admissible(ContainerKind k, Traversal t,
+                                       IterRole role);
+
+/// §3.4: the physical devices a container kind can be mapped onto.  All
+/// containers map onto RAM (external SRAM or on-chip block RAM); queues
+/// and read/write buffers also map onto FIFO cores, stacks onto LIFO
+/// cores, and read buffers additionally onto the special 3-line buffer.
+[[nodiscard]] std::vector<DeviceKind> legal_devices(ContainerKind k);
+
+[[nodiscard]] bool device_legal(ContainerKind k, DeviceKind d);
+
+}  // namespace hwpat::core

@@ -1,0 +1,98 @@
+#include "core/opspec.hpp"
+
+#include <algorithm>
+
+namespace hwpat::core::ops_lib {
+
+UnaryOpSpec identity(int width) {
+  (void)width;
+  return {.name = "identity",
+          .fn = [](Word x) { return x; },
+          .cost = {},
+          .vhdl = "$x"};
+}
+
+UnaryOpSpec invert(int width) {
+  rtl::PrimitiveTally c;
+  c.lut(ceil_div(width, 2)).depth(1);
+  return {.name = "invert",
+          .fn = [width](Word x) { return truncate(~x, width); },
+          .cost = c,
+          .vhdl = "not $x"};
+}
+
+UnaryOpSpec threshold(int width, Word t) {
+  rtl::PrimitiveTally c;
+  c.comparator(width).mux2(width).depth(2);
+  return {.name = "threshold",
+          .fn =
+              [width, t](Word x) {
+                return x >= t ? mask_of(width) : Word{0};
+              },
+          .cost = c,
+          .vhdl = "(others => '1') when unsigned($x) >= " +
+                  std::to_string(t) + " else (others => '0')"};
+}
+
+UnaryOpSpec gain(int width, int num, int shift) {
+  rtl::PrimitiveTally c;
+  // Shift-add multiply by a small constant plus saturation.
+  c.adder(2 * width).comparator(width).mux2(width).depth(3);
+  return {.name = "gain",
+          .fn =
+              [width, num, shift](Word x) {
+                const Word v = (x * static_cast<Word>(num)) >> shift;
+                return std::min(v, mask_of(width));
+              },
+          .cost = c,
+          .vhdl = "saturate(($x * " + std::to_string(num) + ") srl " +
+                  std::to_string(shift) + ")"};
+}
+
+UnaryOpSpec invert_lanes(int lanes) {
+  rtl::PrimitiveTally c;
+  c.lut(ceil_div(8 * lanes, 2)).depth(1);
+  return {.name = "invert_lanes",
+          .fn =
+              [lanes](Word x) {
+                Word r = 0;
+                for (int l = 0; l < lanes; ++l)
+                  r = with_lane(r, l, 8, truncate(~lane_of(x, l, 8), 8));
+                return r;
+              },
+          .cost = c,
+          .vhdl = "not $x"};
+}
+
+BinaryOpSpec sum(int width) {
+  rtl::PrimitiveTally c;
+  c.adder(width).depth(2);
+  return {.name = "sum",
+          .fn = [width](Word a, Word b) { return truncate(a + b, width); },
+          .identity = 0,
+          .cost = c,
+          .vhdl = "$a + $b"};
+}
+
+BinaryOpSpec max_op(int width) {
+  rtl::PrimitiveTally c;
+  c.comparator(width).mux2(width).depth(2);
+  (void)width;
+  return {.name = "max",
+          .fn = [](Word a, Word b) { return std::max(a, b); },
+          .identity = 0,
+          .cost = c,
+          .vhdl = "$a when $a > $b else $b"};
+}
+
+BinaryOpSpec min_op(int width) {
+  rtl::PrimitiveTally c;
+  c.comparator(width).mux2(width).depth(2);
+  return {.name = "min",
+          .fn = [](Word a, Word b) { return std::min(a, b); },
+          .identity = mask_of(width),
+          .cost = c,
+          .vhdl = "$a when $a < $b else $b"};
+}
+
+}  // namespace hwpat::core::ops_lib

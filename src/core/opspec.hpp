@@ -1,0 +1,54 @@
+// Element-wise operation specifications shared by the RTL algorithms,
+// the resource estimator and the VHDL generator: one struct carries the
+// simulation semantics (a C++ function), the synthesis cost (a
+// primitive tally) and the VHDL expression the metaprogramming backend
+// splices into generated architectures.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/bits.hpp"
+#include "rtl/resources.hpp"
+
+namespace hwpat::core {
+
+struct UnaryOpSpec {
+  std::string name;
+  std::function<Word(Word)> fn;
+  rtl::PrimitiveTally cost;  ///< datapath primitives of one instance
+  std::string vhdl;          ///< expression with $x for the operand
+
+  [[nodiscard]] Word operator()(Word x) const { return fn(x); }
+};
+
+struct BinaryOpSpec {
+  std::string name;
+  std::function<Word(Word, Word)> fn;
+  Word identity = 0;  ///< fold seed (0 for sum/max, all-ones for min)
+  rtl::PrimitiveTally cost;
+  std::string vhdl;  ///< expression with $a and $b
+
+  [[nodiscard]] Word operator()(Word a, Word b) const { return fn(a, b); }
+};
+
+namespace ops_lib {
+
+/// out = in (the copy algorithm's "operation"; costs nothing).
+[[nodiscard]] UnaryOpSpec identity(int width);
+/// out = ~in (pixel invert).
+[[nodiscard]] UnaryOpSpec invert(int width);
+/// out = in >= t ? max : 0 (binarisation).
+[[nodiscard]] UnaryOpSpec threshold(int width, Word t);
+/// out = min(in * num / 2^shift, max) (brightness gain, shift-add).
+[[nodiscard]] UnaryOpSpec gain(int width, int num, int shift);
+/// Per-8-bit-lane invert for packed RGB pixels.
+[[nodiscard]] UnaryOpSpec invert_lanes(int lanes);
+
+[[nodiscard]] BinaryOpSpec sum(int width);
+[[nodiscard]] BinaryOpSpec max_op(int width);
+[[nodiscard]] BinaryOpSpec min_op(int width);
+
+}  // namespace ops_lib
+
+}  // namespace hwpat::core

@@ -1,0 +1,52 @@
+#include "core/stream_core.hpp"
+
+namespace hwpat::core {
+
+DeviceKind CoreStreamContainer::device_for(ContainerKind kind) {
+  return kind == ContainerKind::Stack ? DeviceKind::LifoCore
+                                      : DeviceKind::FifoCore;
+}
+
+CoreStreamContainer::CoreStreamContainer(Module* parent, std::string name,
+                                         Config cfg, StreamImpl p)
+    : Container(parent, std::move(name), cfg.kind, device_for(cfg.kind),
+                cfg.elem_bits),
+      cfg_(cfg),
+      p_(p) {
+  // The method wires are handed straight through to the storage core:
+  // push/pop become wr_en/rd_en, front is rd_data — pure renaming.
+  if (cfg_.kind == ContainerKind::Stack) {
+    lifo_ = std::make_unique<devices::LifoCore>(
+        this, "lifo0",
+        devices::LifoConfig{.width = cfg_.elem_bits,
+                            .depth = cfg_.depth,
+                            .strict = cfg_.strict},
+        devices::LifoPorts{.wr_en = p_.push,
+                           .wr_data = p_.push_data,
+                           .rd_en = p_.pop,
+                           .rd_data = p_.front,
+                           .empty = p_.empty,
+                           .full = p_.full,
+                           .level = p_.size});
+  } else {
+    fifo_ = std::make_unique<devices::FifoCore>(
+        this, "fifo0",
+        devices::FifoConfig{.width = cfg_.elem_bits,
+                            .depth = cfg_.depth,
+                            .strict = cfg_.strict},
+        devices::FifoPorts{.wr_en = p_.push,
+                           .wr_data = p_.push_data,
+                           .rd_en = p_.pop,
+                           .rd_data = p_.front,
+                           .empty = p_.empty,
+                           .full = p_.full,
+                           .level = p_.size});
+  }
+}
+
+void CoreStreamContainer::eval_comb() {
+  p_.can_push.write(!p_.full.read());
+  p_.can_pop.write(!p_.empty.read());
+}
+
+}  // namespace hwpat::core

@@ -1,0 +1,48 @@
+// CoreStreamContainer: queue / read buffer / write buffer over an
+// on-chip FIFO core, or stack over an on-chip LIFO core.
+//
+// This is the binding Figure 4 of the paper shows for `rbuffer_fifo`:
+// "the VHDL architecture is simply a wrapper of the FIFO core and
+// hardly includes any logic".  Accordingly the container adds only the
+// polarity adaptation between the core's empty/full flags and the
+// method interface's can_pop/can_push, and reports no resources of its
+// own — the FIFO/LIFO core child reports the storage.
+#pragma once
+
+#include <memory>
+
+#include "core/container.hpp"
+#include "devices/fifo.hpp"
+#include "devices/lifo.hpp"
+
+namespace hwpat::core {
+
+class CoreStreamContainer : public Container {
+ public:
+  struct Config {
+    ContainerKind kind = ContainerKind::Queue;
+    int elem_bits = 8;
+    int depth = 512;
+    bool strict = true;
+  };
+
+  CoreStreamContainer(Module* parent, std::string name, Config cfg,
+                      StreamImpl p);
+
+  void eval_comb() override;
+  // Pure wrapper: dissolves at synthesis.  The storage core is a child
+  // module and reports itself.
+  void report(rtl::PrimitiveTally&) const override {}
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  static DeviceKind device_for(ContainerKind kind);
+
+  Config cfg_;
+  StreamImpl p_;
+  std::unique_ptr<devices::FifoCore> fifo_;
+  std::unique_ptr<devices::LifoCore> lifo_;
+};
+
+}  // namespace hwpat::core

@@ -1,0 +1,40 @@
+#include "designs/design.hpp"
+
+#include "common/error.hpp"
+#include "designs/blur_custom.hpp"
+#include "designs/blur_pattern.hpp"
+#include "designs/saa2vga_custom.hpp"
+#include "designs/saa2vga_pattern.hpp"
+
+namespace hwpat::designs {
+
+std::unique_ptr<VideoDesign> make_saa2vga_pattern(
+    const Saa2VgaConfig& cfg) {
+  return std::make_unique<Saa2VgaPattern>(cfg);
+}
+
+std::unique_ptr<VideoDesign> make_saa2vga_custom(const Saa2VgaConfig& cfg) {
+  switch (cfg.device) {
+    case DeviceKind::FifoCore:
+      return std::make_unique<Saa2VgaCustomFifo>(cfg);
+    case DeviceKind::Sram:
+      return std::make_unique<Saa2VgaCustomSram>(cfg);
+    default:
+      throw SpecError(
+          "make_saa2vga_custom: no ad hoc implementation exists for "
+          "device " +
+          devices::to_string(cfg.device) +
+          " — that is the point of the paper: every new binding needs a "
+          "fresh hand-written design");
+  }
+}
+
+std::unique_ptr<VideoDesign> make_blur_pattern(const BlurConfig& cfg) {
+  return std::make_unique<BlurPattern>(cfg);
+}
+
+std::unique_ptr<VideoDesign> make_blur_custom(const BlurConfig& cfg) {
+  return std::make_unique<BlurCustom>(cfg);
+}
+
+}  // namespace hwpat::designs

@@ -1,0 +1,69 @@
+// The reference designs of the paper's evaluation (§4, Table 3).
+//
+// Each design exists twice: a *pattern* version modelled with
+// containers + iterators + a library algorithm, and a *custom* (ad hoc)
+// version where one hand-written FSM drives the devices directly —
+// the comparison baseline of Table 3.  Both versions share the same
+// VideoSource (camera + decoder model) and VgaSink (coder + monitor
+// model), so any resource/cycle difference is attributable to the
+// pattern machinery alone.
+#pragma once
+
+#include <memory>
+
+#include "devices/device.hpp"
+#include "rtl/module.hpp"
+#include "video/stream.hpp"
+
+namespace hwpat::designs {
+
+using devices::DeviceKind;
+
+/// Common interface every Table 3 design implements.
+class VideoDesign : public rtl::Module {
+ public:
+  using rtl::Module::Module;
+
+  [[nodiscard]] virtual const video::VgaSink& sink() const = 0;
+  [[nodiscard]] virtual const video::VideoSource& source() const = 0;
+  /// True once every input frame has been emitted and every output
+  /// frame collected.
+  [[nodiscard]] virtual bool finished() const = 0;
+};
+
+struct Saa2VgaConfig {
+  int width = 64;
+  int height = 48;
+  int buffer_depth = 512;   ///< FIFO depth / SRAM region capacity
+  DeviceKind device = DeviceKind::FifoCore;  ///< FifoCore or Sram
+  int frames = 1;
+  unsigned pattern_seed = 1;  ///< synthetic camera content
+};
+
+struct BlurConfig {
+  int width = 64;
+  int height = 48;
+  int out_fifo_depth = 512;
+  int frames = 1;
+  unsigned pattern_seed = 1;
+};
+
+/// saa2vga, pattern-based (rows 1-2 of Table 3; device selects which).
+[[nodiscard]] std::unique_ptr<VideoDesign> make_saa2vga_pattern(
+    const Saa2VgaConfig& cfg);
+/// saa2vga, ad hoc implementation.
+[[nodiscard]] std::unique_ptr<VideoDesign> make_saa2vga_custom(
+    const Saa2VgaConfig& cfg);
+/// blur, pattern-based (row 3 of Table 3).
+[[nodiscard]] std::unique_ptr<VideoDesign> make_blur_pattern(
+    const BlurConfig& cfg);
+/// blur, ad hoc implementation.
+[[nodiscard]] std::unique_ptr<VideoDesign> make_blur_custom(
+    const BlurConfig& cfg);
+
+/// The frame sequence both versions of a design are fed with.
+[[nodiscard]] std::vector<video::Frame> camera_frames(int w, int h,
+                                                      int frames,
+                                                      unsigned seed);
+
+}  // namespace hwpat::designs

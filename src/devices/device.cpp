@@ -1,0 +1,41 @@
+#include "devices/device.hpp"
+
+#include "common/error.hpp"
+
+namespace hwpat::devices {
+
+std::string to_string(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::FifoCore: return "fifo";
+    case DeviceKind::LifoCore: return "lifo";
+    case DeviceKind::Sram: return "sram";
+    case DeviceKind::BlockRam: return "bram";
+    case DeviceKind::LineBuffer3: return "linebuf3";
+  }
+  throw InternalError("unknown DeviceKind");
+}
+
+DeviceTraits traits_of(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::FifoCore:
+      return {.read_cycles = 1, .write_cycles = 1, .on_chip = true,
+              .random_access = false};
+    case DeviceKind::LifoCore:
+      return {.read_cycles = 1, .write_cycles = 1, .on_chip = true,
+              .random_access = false};
+    case DeviceKind::Sram:
+      // External SRAM: request/acknowledge handshake, 2 cycles/access
+      // with the default timing of the modelled board.
+      return {.read_cycles = 2, .write_cycles = 2, .on_chip = false,
+              .random_access = true};
+    case DeviceKind::BlockRam:
+      return {.read_cycles = 1, .write_cycles = 1, .on_chip = true,
+              .random_access = true};
+    case DeviceKind::LineBuffer3:
+      return {.read_cycles = 1, .write_cycles = 1, .on_chip = true,
+              .random_access = false};
+  }
+  throw InternalError("unknown DeviceKind");
+}
+
+}  // namespace hwpat::devices

@@ -1,0 +1,55 @@
+#include "estimate/tech.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "devices/sram.hpp"
+
+namespace hwpat::estimate {
+
+rtl::PrimitiveTally collect(const rtl::Module& root) {
+  rtl::PrimitiveTally t;
+  root.visit([&](const rtl::Module& m) {
+    rtl::PrimitiveTally own;
+    m.report(own);
+    t.add(own);
+  });
+  return t;
+}
+
+bool uses_external_ram(const rtl::Module& root) {
+  bool found = false;
+  root.visit([&](const rtl::Module& m) {
+    if (dynamic_cast<const devices::ExternalSram*>(&m) != nullptr)
+      found = true;
+  });
+  return found;
+}
+
+ResourceReport fold(const rtl::PrimitiveTally& t, bool external_ram,
+                    const TechModel& tech) {
+  ResourceReport r;
+  r.ff = t.reg_bits;
+  const double luts =
+      static_cast<double>(t.lut_raw) +
+      tech.lut_per_mux2 * t.mux2_bits +
+      tech.lut_per_add * t.add_bits +
+      tech.lut_per_cmp * t.cmp_bits +
+      static_cast<double>(t.dist_ram_bits) / tech.dist_ram_bits_per_lut;
+  r.lut = static_cast<int>(std::lround(std::ceil(luts)));
+  r.bram = t.bram;
+  const double logic_period =
+      tech.t_clk2q + t.logic_levels * (tech.t_lut + tech.t_net) +
+      tech.t_su;
+  const double period =
+      std::max(logic_period,
+               external_ram ? tech.io_period_ext_ram : tech.io_period);
+  r.fmax_mhz = 1000.0 / period;
+  return r;
+}
+
+ResourceReport estimate(const rtl::Module& root, const TechModel& tech) {
+  return fold(collect(root), uses_external_ram(root), tech);
+}
+
+}  // namespace hwpat::estimate

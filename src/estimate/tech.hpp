@@ -1,0 +1,66 @@
+// Technology model: folds technology-neutral primitive tallies into
+// FPGA resources and a clock estimate, standing in for the synthesis
+// flow of the paper's evaluation (Xilinx XST targeting the Spartan-IIE
+// of the XESS XSB-300E board).
+//
+// Calibration: the per-primitive LUT weights follow the classic
+// 4-input-LUT decompositions (a 2:1 mux bit or an adder bit is one
+// LUT4, a comparator amortises to half a LUT per bit, 16 distributed
+// RAM bits fit one LUT).  The timing model is
+//
+//   period = t_clk2q + levels * (t_lut + t_net) + t_su
+//
+// bounded below by the board's I/O-limited period (the paper's designs
+// all cluster at 96-98 MHz, which is an I/O/clock-tree bound, not a
+// logic bound).  Designs touching the external SRAM pay the slightly
+// longer off-chip pad round trip — that is why the paper's saa2vga 2
+// reports 96 MHz against 98 MHz for the on-chip FIFO variant.
+#pragma once
+
+#include "rtl/module.hpp"
+#include "rtl/resources.hpp"
+
+namespace hwpat::estimate {
+
+struct TechModel {
+  // LUT4 weights per primitive bit.
+  double lut_per_mux2 = 1.0;
+  double lut_per_add = 1.0;
+  double lut_per_cmp = 0.5;
+  double dist_ram_bits_per_lut = 16.0;
+  // Timing in nanoseconds.
+  double t_clk2q = 1.3;
+  double t_lut = 0.6;
+  double t_net = 1.0;
+  double t_su = 0.9;
+  double io_period = 10.2;          ///< on-chip I/O-limited period
+  double io_period_ext_ram = 10.42; ///< with off-chip SRAM pads in use
+
+  [[nodiscard]] static TechModel spartan2e() { return {}; }
+};
+
+/// The estimator's output: what the paper's Table 3 reports per design.
+struct ResourceReport {
+  int ff = 0;
+  int lut = 0;
+  int bram = 0;
+  double fmax_mhz = 0.0;
+};
+
+/// Rolls up the primitive tallies of a module and all its descendants.
+[[nodiscard]] rtl::PrimitiveTally collect(const rtl::Module& root);
+
+/// True when the subtree drives an external SRAM (affects the I/O
+/// period bound).
+[[nodiscard]] bool uses_external_ram(const rtl::Module& root);
+
+/// Folds a tally into resources.
+[[nodiscard]] ResourceReport fold(const rtl::PrimitiveTally& t,
+                                  bool external_ram,
+                                  const TechModel& tech = TechModel::spartan2e());
+
+/// One-call estimate of a whole design.
+[[nodiscard]] ResourceReport estimate(const rtl::Module& root,
+                                      const TechModel& tech = TechModel::spartan2e());
+
+}  // namespace hwpat::estimate

@@ -1,0 +1,35 @@
+#include "hdl/ast.hpp"
+
+#include "common/error.hpp"
+
+namespace hwpat::hdl {
+
+std::string to_string(PortDir d) {
+  switch (d) {
+    case PortDir::In: return "in";
+    case PortDir::Out: return "out";
+    case PortDir::InOut: return "inout";
+  }
+  throw InternalError("unknown PortDir");
+}
+
+std::string Type::str() const {
+  if (!is_vector) return "std_logic";
+  return "std_logic_vector(" + std::to_string(high) + " downto " +
+         std::to_string(low) + ")";
+}
+
+const Port* Entity::find_port(const std::string& pname) const {
+  for (const auto& p : ports)
+    if (p.name == pname) return &p;
+  return nullptr;
+}
+
+std::vector<std::string> Entity::port_names() const {
+  std::vector<std::string> names;
+  names.reserve(ports.size());
+  for (const auto& p : ports) names.push_back(p.name);
+  return names;
+}
+
+}  // namespace hwpat::hdl

@@ -1,0 +1,115 @@
+// A small VHDL abstract syntax tree: entities, ports, architectures
+// with signal declarations, concurrent assignments, component
+// instances and processes.
+//
+// This is the output representation of the paper's metaprogramming
+// backend (§3.4): the container/iterator generators build these nodes
+// from their metamodels and the emitter renders synthesisable VHDL'93.
+// Entities are fully structured (the Fig. 4/5 golden tests pin their
+// port lists); process bodies are kept as pre-rendered statement lines,
+// which is exactly the "parameterized code fragments" representation
+// the paper describes for its code templates.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hwpat::hdl {
+
+enum class PortDir { In, Out, InOut };
+
+[[nodiscard]] std::string to_string(PortDir d);
+
+/// std_logic or std_logic_vector(high downto low).
+struct Type {
+  bool is_vector = false;
+  int high = 0;
+  int low = 0;
+
+  [[nodiscard]] static Type bit() { return {false, 0, 0}; }
+  [[nodiscard]] static Type vec(int width) {
+    return {true, width - 1, 0};
+  }
+  [[nodiscard]] int width() const { return is_vector ? high - low + 1 : 1; }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+struct Port {
+  std::string name;
+  PortDir dir = PortDir::In;
+  Type type;
+  /// Section label; consecutive ports sharing a group are emitted under
+  /// one "-- group" comment, reproducing the Fig. 4 layout
+  /// (methods / params / implementation interface).
+  std::string group;
+
+  friend bool operator==(const Port&, const Port&) = default;
+};
+
+struct Generic {
+  std::string name;
+  std::string type_name;
+  std::string default_value;
+};
+
+struct Entity {
+  std::string name;
+  std::vector<Generic> generics;
+  std::vector<Port> ports;
+
+  [[nodiscard]] const Port* find_port(const std::string& pname) const;
+  [[nodiscard]] std::vector<std::string> port_names() const;
+};
+
+struct SignalDecl {
+  std::string name;
+  Type type;
+  std::string init;  ///< optional ":=" initialiser
+};
+
+/// Concurrent signal assignment: `lhs <= expr;`.
+struct Assign {
+  std::string lhs;
+  std::string expr;
+};
+
+/// Component instantiation with a positional-free named port map.
+struct Instance {
+  std::string label;
+  std::string component;
+  std::vector<std::pair<std::string, std::string>> port_map;
+};
+
+/// A process; `clocked` selects the rising_edge(clk) idiom with an
+/// asynchronous reset branch, `body` holds pre-rendered statements.
+struct Process {
+  std::string label;
+  bool clocked = false;
+  std::vector<std::string> sensitivity;  ///< combinational processes
+  std::vector<std::string> reset_body;   ///< clocked: reset branch
+  std::vector<std::string> body;
+};
+
+using Concurrent = std::variant<Assign, Instance, Process>;
+
+struct Architecture {
+  std::string name = "rtl";
+  std::string of;  ///< entity name
+  std::vector<std::string> component_decls;  ///< verbatim declarations
+  std::vector<SignalDecl> signals;
+  std::vector<Concurrent> body;
+};
+
+/// One generated design file: context clause + entity + architecture.
+struct DesignUnit {
+  std::vector<std::string> libraries = {
+      "library ieee;", "use ieee.std_logic_1164.all;",
+      "use ieee.numeric_std.all;"};
+  Entity entity;
+  Architecture arch;
+};
+
+}  // namespace hwpat::hdl

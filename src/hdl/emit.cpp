@@ -1,0 +1,138 @@
+#include "hdl/emit.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace hwpat::hdl {
+
+namespace {
+
+void emit_ports(std::ostringstream& os, const Entity& e) {
+  os << "  port (\n";
+  std::string group;
+  for (std::size_t i = 0; i < e.ports.size(); ++i) {
+    const Port& p = e.ports[i];
+    if (p.group != group) {
+      group = p.group;
+      if (!group.empty()) os << "    -- " << group << "\n";
+    }
+    os << "    " << p.name << " : " << to_string(p.dir) << " "
+       << p.type.str();
+    if (i + 1 < e.ports.size()) os << ";";
+    os << "\n";
+  }
+  os << "  );\n";
+}
+
+}  // namespace
+
+std::string emit_entity(const Entity& e) {
+  std::ostringstream os;
+  os << "entity " << e.name << " is\n";
+  if (!e.generics.empty()) {
+    os << "  generic (\n";
+    for (std::size_t i = 0; i < e.generics.size(); ++i) {
+      const Generic& g = e.generics[i];
+      os << "    " << g.name << " : " << g.type_name;
+      if (!g.default_value.empty()) os << " := " << g.default_value;
+      if (i + 1 < e.generics.size()) os << ";";
+      os << "\n";
+    }
+    os << "  );\n";
+  }
+  if (!e.ports.empty()) emit_ports(os, e);
+  os << "end " << e.name << ";\n";
+  return os.str();
+}
+
+namespace {
+
+struct ConcurrentEmitter {
+  std::ostringstream& os;
+
+  void operator()(const Assign& a) const {
+    os << "  " << a.lhs << " <= " << a.expr << ";\n";
+  }
+
+  void operator()(const Instance& inst) const {
+    os << "  " << inst.label << " : " << inst.component << "\n"
+       << "    port map (\n";
+    for (std::size_t i = 0; i < inst.port_map.size(); ++i) {
+      os << "      " << inst.port_map[i].first << " => "
+         << inst.port_map[i].second;
+      if (i + 1 < inst.port_map.size()) os << ",";
+      os << "\n";
+    }
+    os << "    );\n";
+  }
+
+  void operator()(const Process& p) const {
+    os << "  " << p.label << " : process";
+    if (p.clocked) {
+      os << " (clk, rst)";
+    } else if (!p.sensitivity.empty()) {
+      os << " (" << join(p.sensitivity, ", ") << ")";
+    }
+    os << "\n  begin\n";
+    if (p.clocked) {
+      os << "    if rst = '1' then\n";
+      for (const auto& line : p.reset_body) os << "      " << line << "\n";
+      os << "    elsif rising_edge(clk) then\n";
+      for (const auto& line : p.body) os << "      " << line << "\n";
+      os << "    end if;\n";
+    } else {
+      for (const auto& line : p.body) os << "    " << line << "\n";
+    }
+    os << "  end process;\n";
+  }
+};
+
+}  // namespace
+
+std::string emit_architecture(const Architecture& a) {
+  std::ostringstream os;
+  os << "architecture " << a.name << " of " << a.of << " is\n";
+  for (const auto& c : a.component_decls) {
+    std::istringstream lines(c);
+    std::string line;
+    while (std::getline(lines, line)) os << "  " << line << "\n";
+  }
+  for (const auto& s : a.signals) {
+    os << "  signal " << s.name << " : " << s.type.str();
+    if (!s.init.empty()) os << " := " << s.init;
+    os << ";\n";
+  }
+  os << "begin\n";
+  for (const auto& c : a.body) std::visit(ConcurrentEmitter{os}, c);
+  os << "end " << a.name << ";\n";
+  return os.str();
+}
+
+std::string emit_unit(const DesignUnit& u) {
+  std::ostringstream os;
+  for (const auto& lib : u.libraries) os << lib << "\n";
+  os << "\n" << emit_entity(u.entity) << "\n"
+     << emit_architecture(u.arch);
+  return os.str();
+}
+
+std::string legalize_identifier(const std::string& name) {
+  std::string out;
+  for (char ch : name) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      out += static_cast<char>(std::tolower(c));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])))
+    out = "u_" + out;
+  return out;
+}
+
+}  // namespace hwpat::hdl

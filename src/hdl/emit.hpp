@@ -1,0 +1,24 @@
+// VHDL'93 pretty-printer for the hdl AST.
+#pragma once
+
+#include <string>
+
+#include "hdl/ast.hpp"
+
+namespace hwpat::hdl {
+
+/// Renders an entity declaration (the Fig. 4/5 artifact).
+[[nodiscard]] std::string emit_entity(const Entity& e);
+
+/// Renders an architecture body.
+[[nodiscard]] std::string emit_architecture(const Architecture& a);
+
+/// Renders a whole design file: context clause, entity, architecture.
+[[nodiscard]] std::string emit_unit(const DesignUnit& u);
+
+/// Lowercases and sanitises an arbitrary name into a legal VHDL
+/// identifier (alphanumeric/underscore, starts with a letter, no
+/// trailing/double underscores).
+[[nodiscard]] std::string legalize_identifier(const std::string& name);
+
+}  // namespace hwpat::hdl

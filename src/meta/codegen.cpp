@@ -1,0 +1,517 @@
+#include "meta/codegen.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "hdl/emit.hpp"
+
+namespace hwpat::meta {
+
+namespace {
+
+using hdl::Architecture;
+using hdl::Assign;
+using hdl::DesignUnit;
+using hdl::Entity;
+using hdl::Port;
+using hdl::PortDir;
+using hdl::Process;
+using hdl::SignalDecl;
+using hdl::Type;
+
+constexpr const char* kMethods = "methods";
+constexpr const char* kParams = "params";
+constexpr const char* kImpl = "implementation interface";
+
+bool has_method(const ContainerSpec& s, Method m) {
+  const auto v = s.effective_methods();
+  return std::find(v.begin(), v.end(), m) != v.end();
+}
+
+/// True when the generated component must be able to read elements out
+/// of the device (pop/read/lookup paths).
+bool reads_device(const ContainerSpec& s) {
+  return has_method(s, Method::Pop) || has_method(s, Method::Read) ||
+         has_method(s, Method::Lookup);
+}
+
+/// True when it must write elements into the device.
+bool writes_device(const ContainerSpec& s) {
+  return has_method(s, Method::Push) || has_method(s, Method::Write) ||
+         has_method(s, Method::Insert) || has_method(s, Method::Remove);
+}
+
+void add_clock_ports(Entity& e) {
+  e.ports.push_back({"clk", PortDir::In, Type::bit(), ""});
+  e.ports.push_back({"rst", PortDir::In, Type::bit(), ""});
+}
+
+/// The m_* method strobes and the data/done param ports (Fig. 4 layout).
+void add_method_ports(Entity& e, const ContainerSpec& s) {
+  for (Method m : s.effective_methods())
+    e.ports.push_back(
+        {"m_" + to_string(m), PortDir::In, Type::bit(), kMethods});
+  // params: operand inputs first, then results.
+  if (has_method(s, Method::Push) || has_method(s, Method::Insert) ||
+      has_method(s, Method::Write))
+    e.ports.push_back(
+        {"data_in", PortDir::In, Type::vec(s.elem_bits), kParams});
+  if (has_method(s, Method::Read) || has_method(s, Method::Write))
+    e.ports.push_back(
+        {"addr", PortDir::In, Type::vec(s.addr_bits), kParams});
+  if (has_method(s, Method::Insert) || has_method(s, Method::Lookup) ||
+      has_method(s, Method::Remove))
+    e.ports.push_back({"key", PortDir::In, Type::vec(8), kParams});
+  if (reads_device(s) || has_method(s, Method::Size))
+    e.ports.push_back(
+        {"data", PortDir::Out, Type::vec(s.elem_bits), kParams});
+  e.ports.push_back({"done", PortDir::Out, Type::bit(), kParams});
+}
+
+/// The p_* implementation interface per device (§3.4, Figs. 4/5).
+void add_impl_ports(Entity& e, const ContainerSpec& s) {
+  const int bus = s.effective_bus_bits();
+  switch (s.device) {
+    case DeviceKind::FifoCore:
+    case DeviceKind::LifoCore:
+      if (reads_device(s)) {
+        e.ports.push_back({"p_empty", PortDir::In, Type::bit(), kImpl});
+        e.ports.push_back({"p_read", PortDir::Out, Type::bit(), kImpl});
+        e.ports.push_back({"p_data", PortDir::In, Type::vec(bus), kImpl});
+      }
+      if (writes_device(s)) {
+        e.ports.push_back({"p_full", PortDir::In, Type::bit(), kImpl});
+        e.ports.push_back({"p_write", PortDir::Out, Type::bit(), kImpl});
+        e.ports.push_back(
+            {"p_wdata", PortDir::Out, Type::vec(bus), kImpl});
+      }
+      break;
+    case DeviceKind::Sram:
+      e.ports.push_back(
+          {"p_addr", PortDir::Out, Type::vec(s.addr_bits), kImpl});
+      if (reads_device(s))
+        e.ports.push_back({"p_data", PortDir::In, Type::vec(bus), kImpl});
+      if (writes_device(s)) {
+        e.ports.push_back(
+            {"p_wdata", PortDir::Out, Type::vec(bus), kImpl});
+        e.ports.push_back({"p_we", PortDir::Out, Type::bit(), kImpl});
+      }
+      e.ports.push_back({"req", PortDir::Out, Type::bit(), kImpl});
+      e.ports.push_back({"ack", PortDir::In, Type::bit(), kImpl});
+      break;
+    case DeviceKind::BlockRam:
+      e.ports.push_back({"p_en", PortDir::Out, Type::bit(), kImpl});
+      e.ports.push_back(
+          {"p_addr", PortDir::Out, Type::vec(s.addr_bits), kImpl});
+      if (writes_device(s)) {
+        e.ports.push_back({"p_we", PortDir::Out, Type::bit(), kImpl});
+        e.ports.push_back(
+            {"p_wdata", PortDir::Out, Type::vec(bus), kImpl});
+      }
+      if (reads_device(s))
+        e.ports.push_back({"p_data", PortDir::In, Type::vec(bus), kImpl});
+      break;
+    case DeviceKind::LineBuffer3:
+      e.ports.push_back(
+          {"p_col", PortDir::In, Type::vec(3 * s.elem_bits), kImpl});
+      e.ports.push_back({"p_col_valid", PortDir::In, Type::bit(), kImpl});
+      e.ports.push_back({"p_read", PortDir::Out, Type::bit(), kImpl});
+      break;
+  }
+}
+
+/// Architecture of the FIFO/LIFO-backed container: "simply a wrapper of
+/// the FIFO core, and hardly includes any logic" (Fig. 4 discussion).
+void fill_core_arch(Architecture& a, const ContainerSpec& s) {
+  if (reads_device(s)) {
+    a.body.push_back(Assign{"p_read", "m_pop"});
+    a.body.push_back(Assign{"data", "p_data"});
+    a.body.push_back(Assign{"done", "not p_empty"});
+  } else {
+    a.body.push_back(Assign{"done", "not p_full"});
+  }
+  if (writes_device(s)) {
+    a.body.push_back(Assign{"p_write", "m_push"});
+    a.body.push_back(Assign{"p_wdata", "data_in"});
+  }
+  if (has_method(s, Method::Size)) {
+    // The core exposes no level port; the wrapper keeps a counter.
+    const int cb = bits_for(static_cast<Word>(s.depth));
+    a.signals.push_back({"count", Type::vec(cb), "(others => '0')"});
+    Process p;
+    p.label = "size_counter";
+    p.clocked = true;
+    p.reset_body = {"count <= (others => '0');"};
+    const bool up = writes_device(s);
+    const bool down = reads_device(s);
+    if (up && down) {
+      p.body = {"if (m_push = '1') and (m_pop = '0') then",
+                "  count <= std_logic_vector(unsigned(count) + 1);",
+                "elsif (m_push = '0') and (m_pop = '1') then",
+                "  count <= std_logic_vector(unsigned(count) - 1);",
+                "end if;"};
+    } else if (down) {
+      // A pure read buffer: filled by the platform side (p_write of
+      // the device feed); the wrapper tracks its own consumption.
+      p.body = {"if m_pop = '1' then",
+                "  count <= std_logic_vector(unsigned(count) - 1);",
+                "end if;"};
+    } else {
+      p.body = {"if m_push = '1' then",
+                "  count <= std_logic_vector(unsigned(count) + 1);",
+                "end if;"};
+    }
+    a.body.push_back(std::move(p));
+  }
+}
+
+/// Architecture of the SRAM-backed container: "a little finite state
+/// machine that controls memory access, as well as a few registers to
+/// store the begin and end pointers of the queue (implemented as a
+/// circular buffer)" (Fig. 5 discussion).
+void fill_sram_arch(Architecture& a, const ContainerSpec& s) {
+  const int pb = std::max(1, clog2(static_cast<Word>(s.depth)));
+  const int cb = bits_for(static_cast<Word>(s.depth));
+  a.signals.push_back({"state", Type::vec(2), "\"00\""});
+  a.signals.push_back({"ptr_begin", Type::vec(pb), "(others => '0')"});
+  a.signals.push_back({"ptr_end", Type::vec(pb), "(others => '0')"});
+  a.signals.push_back({"count", Type::vec(cb), "(others => '0')"});
+  a.signals.push_back({"front_reg", Type::vec(s.effective_bus_bits()),
+                       "(others => '0')"});
+  a.signals.push_back({"front_valid", Type::bit(), "'0'"});
+
+  Process p;
+  p.label = "mem_fsm";
+  p.clocked = true;
+  p.reset_body = {"state <= \"00\";",
+                  "ptr_begin <= (others => '0');",
+                  "ptr_end <= (others => '0');",
+                  "count <= (others => '0');",
+                  "front_valid <= '0';",
+                  "req <= '0';"};
+  p.body = {"case state is",
+            "  when \"00\" =>  -- idle"};
+  if (writes_device(s))
+    p.body.insert(p.body.end(),
+                  {"    if m_push = '1' then",
+                   "      p_addr <= std_logic_vector(resize(unsigned("
+                   "ptr_end), p_addr'length) + " +
+                       std::to_string(s.base_addr) + ");",
+                   "      p_wdata <= data_in;",
+                   "      p_we <= '1'; req <= '1';",
+                   "      state <= \"01\";"});
+  if (reads_device(s))
+    p.body.insert(
+        p.body.end(),
+        {std::string(writes_device(s) ? "    elsif" : "    if") +
+             " front_valid = '0' and unsigned(count) /= 0 then",
+         "      p_addr <= std_logic_vector(resize(unsigned(ptr_begin), "
+         "p_addr'length) + " +
+             std::to_string(s.base_addr) + ");",
+         "      req <= '1';",
+         "      state <= \"10\";"});
+  p.body.insert(p.body.end(),
+                {"    end if;",
+                 "  when \"01\" =>  -- write back",
+                 "    if ack = '1' then",
+                 "      req <= '0'; state <= \"00\";",
+                 "      ptr_end <= std_logic_vector(unsigned(ptr_end) + 1);",
+                 "      count <= std_logic_vector(unsigned(count) + 1);",
+                 "    end if;",
+                 "  when \"10\" =>  -- fetch front",
+                 "    if ack = '1' then",
+                 "      req <= '0'; state <= \"00\";",
+                 "      front_reg <= p_data;",
+                 "      front_valid <= '1';",
+                 "    end if;",
+                 "  when others => state <= \"00\";",
+                 "end case;"});
+  if (has_method(s, Method::Pop))
+    p.body.insert(p.body.end(),
+                  {"if m_pop = '1' and front_valid = '1' then",
+                   "  front_valid <= '0';",
+                   "  ptr_begin <= std_logic_vector(unsigned(ptr_begin) + "
+                   "1);",
+                   "  count <= std_logic_vector(unsigned(count) - 1);",
+                   "end if;"});
+  a.body.push_back(std::move(p));
+
+  if (reads_device(s)) {
+    a.body.push_back(Assign{"data", "front_reg"});
+    a.body.push_back(Assign{"done", "front_valid"});
+  } else {
+    a.body.push_back(Assign{"done", "'1' when state = \"00\" else '0'"});
+  }
+}
+
+void fill_bram_arch(Architecture& a, const ContainerSpec& s) {
+  a.body.push_back(Assign{"p_en", "m_read or m_write"});
+  a.body.push_back(Assign{"p_addr", "addr"});
+  if (writes_device(s)) {
+    a.body.push_back(Assign{"p_we", "m_write"});
+    a.body.push_back(Assign{"p_wdata", "data_in"});
+  }
+  if (reads_device(s)) a.body.push_back(Assign{"data", "p_data"});
+  // One-cycle read latency tracker.
+  a.signals.push_back({"rd_pending", Type::bit(), "'0'"});
+  Process p;
+  p.label = "latency_track";
+  p.clocked = true;
+  p.reset_body = {"rd_pending <= '0';"};
+  p.body = {"rd_pending <= m_read;"};
+  a.body.push_back(std::move(p));
+  a.body.push_back(Assign{"done", "rd_pending or m_write"});
+}
+
+void fill_linebuf_arch(Architecture& a, const ContainerSpec& s) {
+  (void)s;
+  a.body.push_back(Assign{"p_read", "m_pop"});
+  a.body.push_back(Assign{"data", "p_col"});
+  a.body.push_back(Assign{"done", "p_col_valid"});
+}
+
+}  // namespace
+
+DesignUnit generate_container(const ContainerSpec& spec) {
+  validate(spec);
+  DesignUnit u;
+  u.entity.name = hdl::legalize_identifier(spec.entity_name());
+  add_clock_ports(u.entity);
+  add_method_ports(u.entity, spec);
+  add_impl_ports(u.entity, spec);
+  u.arch.of = u.entity.name;
+  switch (spec.device) {
+    case DeviceKind::FifoCore:
+    case DeviceKind::LifoCore:
+      fill_core_arch(u.arch, spec);
+      break;
+    case DeviceKind::Sram:
+      fill_sram_arch(u.arch, spec);
+      break;
+    case DeviceKind::BlockRam:
+      fill_bram_arch(u.arch, spec);
+      break;
+    case DeviceKind::LineBuffer3:
+      if (spec.kind != ContainerKind::ReadBuffer)
+        throw SpecError("generate_container: line buffer binding is "
+                        "read-buffer only");
+      fill_linebuf_arch(u.arch, spec);
+      break;
+  }
+  return u;
+}
+
+DesignUnit generate_iterator(const IteratorSpec& spec) {
+  validate(spec);
+  DesignUnit u;
+  u.entity.name = hdl::legalize_identifier(spec.entity_name());
+  add_clock_ports(u.entity);
+
+  const OpSet ops = spec.effective_ops();
+  const ContainerSpec& c = spec.container;
+  const int k = c.accesses_per_element();
+
+  // Operation strobes (Table 2) — only the used ones exist.
+  for (core::Op op :
+       {core::Op::Inc, core::Op::Dec, core::Op::Read, core::Op::Write,
+        core::Op::Index}) {
+    if (ops.contains(op))
+      u.entity.ports.push_back(
+          {"op_" + core::to_string(op), PortDir::In, Type::bit(),
+           kMethods});
+  }
+  if (ops.contains(core::Op::Index))
+    u.entity.ports.push_back(
+        {"pos", PortDir::In, Type::vec(c.addr_bits), kParams});
+  if (ops.contains(core::Op::Write))
+    u.entity.ports.push_back(
+        {"data_in", PortDir::In, Type::vec(c.elem_bits), kParams});
+  if (ops.contains(core::Op::Read))
+    u.entity.ports.push_back(
+        {"data", PortDir::Out, Type::vec(c.elem_bits), kParams});
+  u.entity.ports.push_back({"done", PortDir::Out, Type::bit(), kParams});
+
+  // Implementation interface: the container's method ports, inverted.
+  if (ops.contains(core::Op::Read) || ops.contains(core::Op::Inc) ||
+      ops.contains(core::Op::Dec)) {
+    u.entity.ports.push_back({"m_pop", PortDir::Out, Type::bit(), kImpl});
+    u.entity.ports.push_back(
+        {"m_data", PortDir::In,
+         Type::vec(c.device == DeviceKind::LineBuffer3
+                       ? 3 * c.elem_bits
+                       : c.effective_bus_bits()),
+         kImpl});
+    u.entity.ports.push_back({"m_done", PortDir::In, Type::bit(), kImpl});
+  }
+  if (ops.contains(core::Op::Write)) {
+    u.entity.ports.push_back({"m_push", PortDir::Out, Type::bit(), kImpl});
+    u.entity.ports.push_back(
+        {"m_wdata", PortDir::Out, Type::vec(c.effective_bus_bits()),
+         kImpl});
+    if (!u.entity.find_port("m_done"))
+      u.entity.ports.push_back(
+          {"m_done", PortDir::In, Type::bit(), kImpl});
+  }
+
+  u.arch.of = u.entity.name;
+  if (k == 1) {
+    // Pure wrapper: "no more than a wrapper that renames some signals".
+    if (ops.contains(core::Op::Read)) {
+      u.arch.body.push_back(Assign{"data", "m_data"});
+      u.arch.body.push_back(
+          Assign{"m_pop", ops.contains(core::Op::Inc) ? "op_inc"
+                                                      : "op_dec"});
+    }
+    if (ops.contains(core::Op::Write)) {
+      u.arch.body.push_back(Assign{"m_push", "op_write"});
+      u.arch.body.push_back(Assign{"m_wdata", "data_in"});
+    }
+    u.arch.body.push_back(Assign{"done", "m_done"});
+  } else {
+    // §3.3 width adaptation: k consecutive device accesses per element
+    // ("perform three consecutive container reads/writes to get/set
+    // the whole pixel").
+    const int lane_bits = bits_for(static_cast<Word>(k));
+    u.arch.signals.push_back(
+        {"lane", Type::vec(lane_bits), "(others => '0')"});
+    u.arch.signals.push_back(
+        {"shift_reg", Type::vec(c.elem_bits), "(others => '0')"});
+    u.arch.signals.push_back({"asm_valid", Type::bit(), "'0'"});
+    Process p;
+    p.label = "width_adapt";
+    p.clocked = true;
+    p.reset_body = {"lane <= (others => '0');", "asm_valid <= '0';"};
+    const int bus = c.effective_bus_bits();
+    if (ops.contains(core::Op::Read)) {
+      p.body = {
+          "if m_done = '1' and asm_valid = '0' then",
+          "  shift_reg <= m_data & shift_reg(" +
+              std::to_string(c.elem_bits - 1) + " downto " +
+              std::to_string(bus) + ");",
+          "  if unsigned(lane) = " + std::to_string(k - 1) + " then",
+          "    lane <= (others => '0'); asm_valid <= '1';",
+          "  else",
+          "    lane <= std_logic_vector(unsigned(lane) + 1);",
+          "  end if;",
+          "end if;",
+          "if (op_inc = '1' or op_dec = '1') and asm_valid = '1' then",
+          "  asm_valid <= '0';",
+          "end if;"};
+      u.arch.body.push_back(
+          Assign{"m_pop", "m_done and not asm_valid"});
+      u.arch.body.push_back(Assign{"data", "shift_reg"});
+      u.arch.body.push_back(Assign{"done", "asm_valid"});
+    } else {
+      p.body = {
+          "if op_write = '1' or unsigned(lane) /= 0 then",
+          "  if m_done = '1' then",
+          "    if unsigned(lane) = " + std::to_string(k - 1) + " then",
+          "      lane <= (others => '0');",
+          "    else",
+          "      lane <= std_logic_vector(unsigned(lane) + 1);",
+          "    end if;",
+          "  end if;",
+          "end if;"};
+      u.arch.body.push_back(Assign{"m_push", "op_write"});
+      u.arch.body.push_back(
+          Assign{"m_wdata",
+                 "data_in(" + std::to_string(bus - 1) +
+                     " downto 0)  -- lane-selected by generator"});
+      u.arch.body.push_back(Assign{"done", "m_done"});
+    }
+    u.arch.body.push_back(std::move(p));
+  }
+  return u;
+}
+
+DesignUnit generate_algorithm(const AlgorithmSpec& spec) {
+  if (spec.name.empty())
+    throw SpecError("algorithm spec: empty name");
+  if (spec.elem_bits < 1 || spec.elem_bits > kMaxBusBits)
+    throw SpecError("algorithm spec '" + spec.name +
+                    "': element width out of range");
+  if (spec.op_vhdl.find("$x") == std::string::npos)
+    throw SpecError("algorithm spec '" + spec.name +
+                    "': op expression must reference $x");
+
+  DesignUnit u;
+  u.entity.name = hdl::legalize_identifier(spec.name + "_fsm");
+  add_clock_ports(u.entity);
+  // Control.
+  u.entity.ports.push_back({"start", PortDir::In, Type::bit(), "control"});
+  u.entity.ports.push_back({"busy", PortDir::Out, Type::bit(), "control"});
+  u.entity.ports.push_back({"done", PortDir::Out, Type::bit(), "control"});
+  // Input iterator client side.
+  const char* kIn = "input iterator";
+  u.entity.ports.push_back({"in_inc", PortDir::Out, Type::bit(), kIn});
+  u.entity.ports.push_back({"in_read", PortDir::Out, Type::bit(), kIn});
+  u.entity.ports.push_back(
+      {"in_data", PortDir::In, Type::vec(spec.elem_bits), kIn});
+  u.entity.ports.push_back({"in_done", PortDir::In, Type::bit(), kIn});
+  // Output iterator client side.
+  const char* kOut = "output iterator";
+  u.entity.ports.push_back({"out_inc", PortDir::Out, Type::bit(), kOut});
+  u.entity.ports.push_back({"out_write", PortDir::Out, Type::bit(), kOut});
+  u.entity.ports.push_back(
+      {"out_data", PortDir::Out, Type::vec(spec.elem_bits), kOut});
+  u.entity.ports.push_back({"out_done", PortDir::In, Type::bit(), kOut});
+
+  u.arch.of = u.entity.name;
+  u.arch.signals.push_back({"running", Type::bit(), "'0'"});
+  u.arch.signals.push_back({"go", Type::bit(), ""});
+
+  // The paper's parallel handshake: read+inc on the input and
+  // write+inc on the output fire together whenever both sides are
+  // ready ("all these operations can be performed in parallel").
+  u.arch.body.push_back(
+      Assign{"go", "running and in_done and out_done"});
+  u.arch.body.push_back(Assign{"in_read", "go"});
+  u.arch.body.push_back(Assign{"in_inc", "go"});
+  u.arch.body.push_back(Assign{"out_write", "go"});
+  u.arch.body.push_back(Assign{"out_inc", "go"});
+  // The element operation, spliced from the metamodel.
+  std::string expr = spec.op_vhdl;
+  for (std::size_t pos = expr.find("$x"); pos != std::string::npos;
+       pos = expr.find("$x"))
+    expr.replace(pos, 2, "in_data");
+  u.arch.body.push_back(Assign{"out_data", expr});
+  u.arch.body.push_back(Assign{"busy", "running"});
+
+  Process p;
+  p.label = "run_ctl";
+  p.clocked = true;
+  if (spec.count == 0) {
+    p.reset_body = {"running <= '0';"};
+    p.body = {"if start = '1' then running <= '1'; end if;"};
+    u.arch.body.push_back(Assign{"done", "'0'"});
+  } else {
+    const int cb = bits_for(spec.count);
+    u.arch.signals.push_back(
+        {"transfers", Type::vec(cb), "(others => '0')"});
+    u.arch.signals.push_back({"done_reg", Type::bit(), "'0'"});
+    p.reset_body = {"running <= '0';",
+                    "transfers <= (others => '0');",
+                    "done_reg <= '0';"};
+    p.body = {
+        "done_reg <= '0';",
+        "if running = '0' and start = '1' then",
+        "  running <= '1';",
+        "  transfers <= (others => '0');",
+        "elsif go = '1' then",
+        "  if unsigned(transfers) = " + std::to_string(spec.count - 1) +
+            " then",
+        "    running <= '0';",
+        "    done_reg <= '1';",
+        "  else",
+        "    transfers <= std_logic_vector(unsigned(transfers) + 1);",
+        "  end if;",
+        "end if;"};
+    u.arch.body.push_back(Assign{"done", "done_reg"});
+  }
+  u.arch.body.push_back(std::move(p));
+  return u;
+}
+
+std::string to_vhdl(const DesignUnit& unit) { return hdl::emit_unit(unit); }
+
+}  // namespace hwpat::meta

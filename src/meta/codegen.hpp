@@ -1,0 +1,53 @@
+// VHDL generation from container/iterator metamodels (§3.4).
+//
+// "An automatic code generator produces customized versions of
+// containers and iterators from a code template.  The template includes
+// information on the available operations, shared resources and
+// parameterized code fragments.  The result is a set of efficient VHDL
+// components, ready to be synthesized."
+//
+// generate_container() reproduces the entities of Fig. 4
+// (`rbuffer_fifo`) and Fig. 5 (`rbuffer_sram`) for the corresponding
+// specs, including the three port sections (methods / params /
+// implementation interface), method pruning, and the per-device
+// implementation interface.  generate_iterator() emits the concrete
+// iterator for a spec; pure-wrapper iterators come out as a handful of
+// renaming assignments — the "dissolved at synthesis" artifact.
+#pragma once
+
+#include "hdl/ast.hpp"
+#include "meta/spec.hpp"
+
+namespace hwpat::meta {
+
+/// Generates entity + architecture for a container spec.
+[[nodiscard]] hdl::DesignUnit generate_container(const ContainerSpec& spec);
+
+/// Generates entity + architecture for a concrete iterator spec.
+[[nodiscard]] hdl::DesignUnit generate_iterator(const IteratorSpec& spec);
+
+/// Metamodel of a transform-style algorithm (copy = identity): an
+/// element operation applied between one input and one output iterator.
+/// The paper leaves algorithm metamodels as future work ("algorithms
+/// can be also described through metamodels, although they have not
+/// been considered in this paper"); this implements that extension.
+struct AlgorithmSpec {
+  std::string name = "copy";
+  int elem_bits = 8;
+  /// VHDL expression with $x standing for the input element
+  /// ("$x" = copy, "not $x" = invert, ...).
+  std::string op_vhdl = "$x";
+  /// 0 = the endless streaming loop of §3.3; otherwise a bounded run
+  /// with a transfer counter and a done pulse.
+  std::uint64_t count = 0;
+};
+
+/// Generates the FSM entity + architecture of a transform algorithm:
+/// iterator client ports on both sides, parallel read/inc/write/inc
+/// handshake, and the operation expression spliced into the datapath.
+[[nodiscard]] hdl::DesignUnit generate_algorithm(const AlgorithmSpec& spec);
+
+/// Convenience: render a unit to VHDL text.
+[[nodiscard]] std::string to_vhdl(const hdl::DesignUnit& unit);
+
+}  // namespace hwpat::meta

@@ -1,0 +1,94 @@
+// Metamodels of the code generator (§3.4).
+//
+// A ContainerSpec captures everything the paper's metaprogramming layer
+// knows about one container instance: its kind, the physical device it
+// is mapped onto, element and device-bus widths, depth/capacity, and —
+// crucially — the set of methods the design actually uses, so that
+// "only those resources that are really used by the selected
+// operations" are generated.  An IteratorSpec does the same for a
+// concrete iterator, including the width-adaptation factor of §3.3
+// (e.g. a 24-bit pixel over an 8-bit device bus takes 3 consecutive
+// accesses).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ops.hpp"
+
+namespace hwpat::meta {
+
+using core::ContainerKind;
+using core::IterRole;
+using core::OpSet;
+using core::Traversal;
+using devices::DeviceKind;
+
+/// The container method interface vocabulary (the m_* ports of Fig. 4).
+enum class Method {
+  Push,    ///< stream containers: enqueue/push
+  Pop,     ///< stream containers: consume front/top
+  Empty,   ///< status query
+  Full,    ///< status query
+  Size,    ///< element count query
+  Read,    ///< vector: positional read
+  Write,   ///< vector: positional write
+  Insert,  ///< assoc array
+  Lookup,  ///< assoc array
+  Remove,  ///< assoc array
+};
+
+[[nodiscard]] std::string to_string(Method m);
+
+/// All methods a container kind offers.
+[[nodiscard]] std::vector<Method> methods_for(ContainerKind k);
+
+[[nodiscard]] bool method_available(ContainerKind k, Method m);
+
+struct ContainerSpec {
+  std::string name = "container";  ///< instance/entity base name
+  ContainerKind kind = ContainerKind::Queue;
+  DeviceKind device = DeviceKind::FifoCore;
+  int elem_bits = 8;   ///< element width the model sees
+  int depth = 512;     ///< capacity in elements
+  int bus_bits = 0;    ///< device data-bus width; 0 = same as elem_bits
+  int addr_bits = 16;  ///< address width (RAM-backed devices)
+  Word base_addr = 0;  ///< region offset (external SRAM)
+  /// Methods the design uses.  Empty = all methods of the kind.
+  std::vector<Method> used_methods;
+  bool shared_device = false;  ///< device behind an arbiter port
+
+  /// Effective device bus width.
+  [[nodiscard]] int effective_bus_bits() const {
+    return bus_bits == 0 ? elem_bits : bus_bits;
+  }
+  /// §3.3: device accesses needed per element.
+  [[nodiscard]] int accesses_per_element() const {
+    return ceil_div(elem_bits, effective_bus_bits());
+  }
+  /// The methods actually generated.
+  [[nodiscard]] std::vector<Method> effective_methods() const;
+  /// Generated entity name, e.g. "rbuffer_fifo" (Fig. 4).
+  [[nodiscard]] std::string entity_name() const;
+};
+
+/// Validates kind/device legality, method availability and widths;
+/// throws SpecError with a precise message on violation.
+void validate(const ContainerSpec& spec);
+
+struct IteratorSpec {
+  std::string name = "it";  ///< instance/entity base name
+  Traversal traversal = Traversal::Forward;
+  IterRole role = IterRole::Input;
+  OpSet used_ops{};  ///< empty = all admissible ops
+  /// The container this iterator binds to (one concrete iterator per
+  /// container type — §3.2.2).
+  ContainerSpec container;
+
+  [[nodiscard]] OpSet effective_ops() const;
+  [[nodiscard]] std::string entity_name() const;
+};
+
+void validate(const IteratorSpec& spec);
+
+}  // namespace hwpat::meta

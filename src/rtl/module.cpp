@@ -1,0 +1,43 @@
+#include "rtl/module.hpp"
+
+#include <algorithm>
+
+namespace hwpat::rtl {
+
+SignalBase::SignalBase(Module& owner, std::string name, int width)
+    : owner_(owner), name_(std::move(name)), width_(width) {
+  HWPAT_ASSERT(width >= 0);
+  owner.add_signal(this);
+}
+
+SignalBase::~SignalBase() { owner_.remove_signal(this); }
+
+std::string SignalBase::full_name() const {
+  return owner_.full_name() + "." + name_;
+}
+
+Module::Module(Module* parent, std::string name)
+    : parent_(parent), name_(std::move(name)) {
+  if (parent_ != nullptr) parent_->children_.push_back(this);
+}
+
+Module::~Module() {
+  if (parent_ != nullptr) parent_->remove_child(this);
+}
+
+std::string Module::full_name() const {
+  if (parent_ == nullptr) return name_;
+  return parent_->full_name() + "." + name_;
+}
+
+void Module::remove_signal(const SignalBase* s) {
+  signals_.erase(std::remove(signals_.begin(), signals_.end(), s),
+                 signals_.end());
+}
+
+void Module::remove_child(const Module* m) {
+  children_.erase(std::remove(children_.begin(), children_.end(), m),
+                  children_.end());
+}
+
+}  // namespace hwpat::rtl

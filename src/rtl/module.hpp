@@ -1,0 +1,80 @@
+// Module: the unit of hierarchy in the RTL kernel.
+//
+// A module owns signals (as C++ members), may have child modules, and
+// participates in simulation through three virtual processes:
+//
+//   * eval_comb()  - combinational process; reads current values, writes
+//                    next values of combinationally driven signals.  Run
+//                    repeatedly by the settling loop until stable.
+//   * on_clock()   - sequential process; run exactly once per rising
+//                    edge, on settled inputs.  Writes register signals.
+//   * on_reset()   - puts registers back to their initial state.
+//
+// Ownership: the C++ object graph owns modules (members, unique_ptr,
+// ...); parent/child registration is non-owning bookkeeping used by the
+// simulator, the VCD writer and the resource estimator to discover the
+// design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/resources.hpp"
+#include "rtl/signal.hpp"
+
+namespace hwpat::rtl {
+
+class Module {
+ public:
+  /// Creates a module named `name` under `parent` (nullptr for the top).
+  explicit Module(Module* parent, std::string name);
+  virtual ~Module();
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string full_name() const;
+  [[nodiscard]] Module* parent() const { return parent_; }
+  [[nodiscard]] const std::vector<Module*>& children() const {
+    return children_;
+  }
+  [[nodiscard]] const std::vector<SignalBase*>& signals() const {
+    return signals_;
+  }
+
+  /// Combinational process (see file comment).  Default: none.
+  virtual void eval_comb() {}
+  /// Sequential process, one call per rising clock edge.  Default: none.
+  virtual void on_clock() {}
+  /// Reset registers to their initial values.  Default: none.
+  virtual void on_reset() {}
+  /// Reports this module's *own* synthesis primitives (children are
+  /// visited separately).  Default: nothing — a pure wrapper.
+  virtual void report(PrimitiveTally&) const {}
+
+  /// Pre-order walk over this module and all descendants.
+  template <typename F>
+  void visit(F&& f) {
+    f(*this);
+    for (Module* c : children_) c->visit(f);
+  }
+  template <typename F>
+  void visit(F&& f) const {
+    f(static_cast<const Module&>(*this));
+    for (const Module* c : children_) c->visit(f);
+  }
+
+ private:
+  friend class SignalBase;
+  void add_signal(SignalBase* s) { signals_.push_back(s); }
+  void remove_signal(const SignalBase* s);
+  void remove_child(const Module* m);
+
+  Module* parent_;
+  std::string name_;
+  std::vector<Module*> children_;
+  std::vector<SignalBase*> signals_;
+};
+
+}  // namespace hwpat::rtl

@@ -1,0 +1,101 @@
+// Structural primitive counts reported by RTL modules.
+//
+// A module describes what it would synthesise to in terms of technology-
+// neutral primitives (register bits, mux bits, adder bits, ...).  The
+// estimate layer folds these into FPGA resources (FFs, 4-input LUTs,
+// block RAMs) and a clock estimate using a technology model.  Pure
+// wrapper modules (the paper's "iterators dissolved at synthesis")
+// simply report nothing.
+#pragma once
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+
+namespace hwpat::rtl {
+
+struct PrimitiveTally {
+  int reg_bits = 0;       ///< flip-flop bits
+  int mux2_bits = 0;      ///< 2:1 multiplexer bits
+  int add_bits = 0;       ///< adder / incrementer / subtractor bits
+  int cmp_bits = 0;       ///< equality / magnitude comparator bits
+  int lut_raw = 0;        ///< pre-counted 4-input LUT equivalents
+  int bram = 0;           ///< block RAM macros
+  int dist_ram_bits = 0;  ///< distributed (LUT) RAM bits
+  int logic_levels = 0;   ///< deepest combinational path (LUT levels)
+
+  /// Registers: one FF per bit.
+  PrimitiveTally& regs(int bits) {
+    reg_bits += bits;
+    return *this;
+  }
+  /// 2:1 mux of `bits` data bits.
+  PrimitiveTally& mux2(int bits) {
+    mux2_bits += bits;
+    return *this;
+  }
+  /// n-way mux of `bits` data bits (decomposed into 2:1 stages).
+  PrimitiveTally& muxn(int ways, int bits) {
+    if (ways > 1) mux2_bits += (ways - 1) * bits;
+    return *this;
+  }
+  /// Adder / incrementer of `bits` bits.
+  PrimitiveTally& adder(int bits) {
+    add_bits += bits;
+    return *this;
+  }
+  /// Comparator over `bits` bits.
+  PrimitiveTally& comparator(int bits) {
+    cmp_bits += bits;
+    return *this;
+  }
+  /// Raw LUT4-equivalents for random logic (decoders, enables, glue).
+  PrimitiveTally& lut(int n) {
+    lut_raw += n;
+    return *this;
+  }
+  /// A finite state machine: binary-encoded state register plus
+  /// next-state / output logic proportional to the transition count.
+  PrimitiveTally& fsm(int states, int arcs) {
+    const int sbits = std::max(1, hwpat::clog2(static_cast<Word>(states)));
+    reg_bits += sbits;
+    lut_raw += sbits + arcs;  // next-state logic + Moore/Mealy outputs
+    depth(2);
+    return *this;
+  }
+  /// Block RAM macros.
+  PrimitiveTally& blockram(int n) {
+    bram += n;
+    return *this;
+  }
+  /// Distributed RAM bits (small memories in LUT fabric).
+  PrimitiveTally& distram(int bits) {
+    dist_ram_bits += bits;
+    return *this;
+  }
+  /// Max-folds a combinational depth contribution (LUT levels).
+  PrimitiveTally& depth(int levels) {
+    logic_levels = std::max(logic_levels, levels);
+    return *this;
+  }
+
+  /// Accumulates another tally (sums counts, max-folds depth).
+  void add(const PrimitiveTally& o) {
+    reg_bits += o.reg_bits;
+    mux2_bits += o.mux2_bits;
+    add_bits += o.add_bits;
+    cmp_bits += o.cmp_bits;
+    lut_raw += o.lut_raw;
+    bram += o.bram;
+    dist_ram_bits += o.dist_ram_bits;
+    logic_levels = std::max(logic_levels, o.logic_levels);
+  }
+
+  [[nodiscard]] bool empty() const {
+    return reg_bits == 0 && mux2_bits == 0 && add_bits == 0 &&
+           cmp_bits == 0 && lut_raw == 0 && bram == 0 &&
+           dist_ram_bits == 0 && logic_levels == 0;
+  }
+};
+
+}  // namespace hwpat::rtl

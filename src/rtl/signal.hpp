@@ -1,0 +1,112 @@
+// Two-phase signals for the cycle-accurate RTL kernel.
+//
+// Every signal holds a *current* value (what processes read) and a *next*
+// value (what processes write).  The simulator commits next->current
+// between evaluation rounds, which gives VHDL-like semantics: a process
+// never observes a value written in the same round, so evaluation order
+// of modules is irrelevant and simulation is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace hwpat::rtl {
+
+class Module;
+
+/// Untyped base for all signals.  Signals register themselves with their
+/// owning module on construction; the simulator discovers them by walking
+/// the module tree.
+class SignalBase {
+ public:
+  SignalBase(Module& owner, std::string name, int width);
+  virtual ~SignalBase();
+
+  SignalBase(const SignalBase&) = delete;
+  SignalBase& operator=(const SignalBase&) = delete;
+
+  /// Short name within the owning module.
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Hierarchical dotted name, e.g. "top.fifo0.rd_data".
+  [[nodiscard]] std::string full_name() const;
+  /// Bit width of the modelled bus; 0 marks a testbench-only signal that
+  /// is excluded from waveforms and resource accounting.
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] Module& owner() const { return owner_; }
+
+  /// Copies next into current.  Returns true when the visible value
+  /// changed (used by the delta-cycle settling loop).
+  virtual bool commit() = 0;
+  /// Restores the construction-time value on both phases (global reset).
+  virtual void reset_value() = 0;
+  /// Current value as a word, for VCD dumping (width <= 64 only).
+  [[nodiscard]] virtual Word as_word() const = 0;
+
+ private:
+  Module& owner_;
+  std::string name_;
+  int width_;
+};
+
+/// Generic two-phase signal.  T must be equality-comparable and copyable.
+/// Use Bit/Bus for hardware-visible signals; Signal<T> with width 0 for
+/// testbench plumbing (frames, strings, ...).
+template <typename T>
+class Signal : public SignalBase {
+ public:
+  Signal(Module& owner, std::string name, int width, T init = T{})
+      : SignalBase(owner, std::move(name), width),
+        cur_(init),
+        nxt_(init),
+        init_(init) {}
+
+  /// Value visible to processes this round.
+  [[nodiscard]] const T& read() const { return cur_; }
+  /// Schedules `v` to become visible after the next commit.
+  void write(const T& v) { nxt_ = v; }
+  /// Restores the construction-time value on both phases (reset).
+  void reset_value() override { cur_ = nxt_ = init_; }
+
+  bool commit() override {
+    if (nxt_ == cur_) return false;
+    cur_ = nxt_;
+    return true;
+  }
+
+  [[nodiscard]] Word as_word() const override {
+    if constexpr (std::is_convertible_v<T, Word>) {
+      return static_cast<Word>(cur_);
+    } else {
+      return 0;
+    }
+  }
+
+ private:
+  T cur_;
+  T nxt_;
+  T init_;
+};
+
+/// Single-bit hardware signal.
+class Bit : public Signal<bool> {
+ public:
+  Bit(Module& owner, std::string name, bool init = false)
+      : Signal<bool>(owner, std::move(name), 1, init) {}
+};
+
+/// Multi-bit hardware bus of explicit width (1..64).  Writes are
+/// truncated to the declared width, as they would be in hardware.
+class Bus : public Signal<Word> {
+ public:
+  Bus(Module& owner, std::string name, int width, Word init = 0)
+      : Signal<Word>(owner, std::move(name), width, truncate(init, width)) {
+    HWPAT_ASSERT(width >= 1 && width <= kMaxBusBits);
+  }
+
+  void write(Word v) { Signal<Word>::write(truncate(v, width())); }
+};
+
+}  // namespace hwpat::rtl

@@ -1,0 +1,64 @@
+#include "rtl/simulator.hpp"
+
+#include "rtl/vcd.hpp"
+
+namespace hwpat::rtl {
+
+Simulator::Simulator(Module& top) : top_(top) {
+  top_.visit([this](Module& m) {
+    modules_.push_back(&m);
+    for (SignalBase* s : m.signals()) signals_.push_back(s);
+  });
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::set_delta_limit(int limit) {
+  HWPAT_ASSERT(limit > 0);
+  delta_limit_ = limit;
+}
+
+void Simulator::commit_all(bool* changed) {
+  bool any = false;
+  for (SignalBase* s : signals_) any = s->commit() || any;
+  if (changed != nullptr) *changed = any;
+}
+
+void Simulator::settle() {
+  for (int iter = 0; iter < delta_limit_; ++iter) {
+    for (Module* m : modules_) m->eval_comb();
+    bool changed = false;
+    commit_all(&changed);
+    if (!changed) return;
+  }
+  throw CombLoopError(
+      "combinational logic did not settle within " +
+      std::to_string(delta_limit_) + " delta cycles in design '" +
+      top_.name() + "' — likely a combinational feedback loop");
+}
+
+void Simulator::reset() {
+  cycle_ = 0;
+  for (SignalBase* s : signals_) s->reset_value();
+  for (Module* m : modules_) m->on_reset();
+  commit_all(nullptr);
+  settle();
+  if (vcd_) vcd_->sample(cycle_);
+}
+
+void Simulator::step(int n) {
+  for (int i = 0; i < n; ++i) {
+    settle();
+    for (Module* m : modules_) m->on_clock();
+    commit_all(nullptr);
+    settle();
+    ++cycle_;
+    if (vcd_) vcd_->sample(cycle_);
+  }
+}
+
+void Simulator::open_vcd(const std::string& path) {
+  vcd_ = std::make_unique<VcdWriter>(path, top_);
+}
+
+}  // namespace hwpat::rtl

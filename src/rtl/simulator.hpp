@@ -1,0 +1,80 @@
+// Single-clock cycle-accurate simulator.
+//
+// Semantics of one step() (one rising clock edge):
+//   1. settle combinational logic to a fixpoint (delta cycles),
+//   2. run every on_clock() process on the settled values,
+//   3. commit, then settle combinational logic again.
+//
+// Because signals are two-phase, the order in which module processes run
+// never affects results.  A design whose combinational logic does not
+// reach a fixpoint within the delta limit raises CombLoopError — that is
+// a bug in the modelled hardware (a combinational feedback loop), not in
+// the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace hwpat::rtl {
+
+class VcdWriter;
+
+class Simulator {
+ public:
+  /// Builds a simulator over the design rooted at `top`.  The module
+  /// tree must not change shape afterwards (signals/modules are
+  /// discovered once, here).
+  explicit Simulator(Module& top);
+  ~Simulator();
+
+  /// Applies on_reset() everywhere, then settles.  Call before stepping.
+  void reset();
+
+  /// Advances n rising clock edges.
+  void step(int n = 1);
+
+  /// Steps until `pred()` is true, at most `max_cycles` edges.  Returns
+  /// the number of edges consumed; throws Error on timeout.
+  template <typename Pred>
+  std::uint64_t run_until(Pred&& pred, std::uint64_t max_cycles) {
+    std::uint64_t n = 0;
+    while (!pred()) {
+      if (n >= max_cycles)
+        throw Error("run_until: condition not reached within " +
+                    std::to_string(max_cycles) + " cycles in design '" +
+                    top_.name() + "'");
+      step();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Settles combinational logic without a clock edge (for comb-only
+  /// tests and for observing post-reset state).
+  void settle();
+
+  /// Rising edges executed since construction/reset.
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  /// Maximum delta iterations per settle before CombLoopError.
+  void set_delta_limit(int limit);
+
+  /// Starts dumping a VCD waveform of all hardware signals to `path`.
+  void open_vcd(const std::string& path);
+
+ private:
+  void commit_all(bool* changed);
+
+  Module& top_;
+  std::vector<Module*> modules_;
+  std::vector<SignalBase*> signals_;
+  std::uint64_t cycle_ = 0;
+  int delta_limit_ = 256;
+  std::unique_ptr<VcdWriter> vcd_;
+};
+
+}  // namespace hwpat::rtl

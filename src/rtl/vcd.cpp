@@ -1,0 +1,61 @@
+#include "rtl/vcd.hpp"
+
+#include "common/error.hpp"
+
+namespace hwpat::rtl {
+
+VcdWriter::VcdWriter(const std::string& path, Module& top) : out_(path) {
+  if (!out_) throw Error("cannot open VCD file: " + path);
+  out_ << "$timescale 1ns $end\n";
+  declare_scope(top);
+  out_ << "$enddefinitions $end\n";
+}
+
+void VcdWriter::declare_scope(Module& m) {
+  out_ << "$scope module " << m.name() << " $end\n";
+  for (SignalBase* s : m.signals()) {
+    if (s->width() <= 0) continue;
+    Entry e;
+    e.sig = s;
+    e.id = make_id(entries_.size());
+    out_ << "$var wire " << s->width() << " " << e.id << " " << s->name()
+         << " $end\n";
+    entries_.push_back(std::move(e));
+  }
+  for (Module* c : m.children()) declare_scope(*c);
+  out_ << "$upscope $end\n";
+}
+
+std::string VcdWriter::make_id(std::size_t n) {
+  // Printable-ASCII base-94 identifiers, as the VCD format allows.
+  std::string id;
+  do {
+    id += static_cast<char>('!' + n % 94);
+    n /= 94;
+  } while (n != 0);
+  return id;
+}
+
+void VcdWriter::sample(std::uint64_t cycle) {
+  bool stamped = false;
+  for (Entry& e : entries_) {
+    const Word v = e.sig->as_word();
+    if (e.ever && v == e.last) continue;
+    if (!stamped) {
+      out_ << "#" << cycle << "\n";
+      stamped = true;
+    }
+    if (e.sig->width() == 1) {
+      out_ << (v ? '1' : '0') << e.id << "\n";
+    } else {
+      out_ << "b";
+      for (int i = e.sig->width() - 1; i >= 0; --i)
+        out_ << (bit_of(v, i) ? '1' : '0');
+      out_ << " " << e.id << "\n";
+    }
+    e.last = v;
+    e.ever = true;
+  }
+}
+
+}  // namespace hwpat::rtl

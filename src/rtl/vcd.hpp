@@ -1,0 +1,40 @@
+// Minimal VCD (value change dump) writer for waveform inspection.
+//
+// The simulator calls sample() once per clock edge; only signals whose
+// value changed since the last sample are written.  Testbench signals
+// (width 0) are skipped.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace hwpat::rtl {
+
+class VcdWriter {
+ public:
+  /// Opens `path` and writes the header for the design under `top`.
+  VcdWriter(const std::string& path, Module& top);
+
+  /// Records the state at time `cycle` (one VCD time unit per cycle).
+  void sample(std::uint64_t cycle);
+
+ private:
+  struct Entry {
+    SignalBase* sig;
+    std::string id;
+    Word last = ~Word{0};
+    bool ever = false;
+  };
+
+  void declare_scope(Module& m);
+  static std::string make_id(std::size_t n);
+
+  std::ofstream out_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hwpat::rtl

@@ -1,0 +1,155 @@
+#include "video/frame.hpp"
+
+#include <fstream>
+#include <algorithm>
+#include <random>
+
+#include "common/error.hpp"
+#include "core/model/model.hpp"
+
+namespace hwpat::video {
+
+Frame::Frame(int width, int height, int channels, Word fill)
+    : width_(width),
+      height_(height),
+      channels_(channels),
+      pixels_(static_cast<std::size_t>(width) *
+                  static_cast<std::size_t>(height),
+              fill) {
+  HWPAT_ASSERT(width >= 1 && height >= 1);
+  HWPAT_ASSERT(channels == 1 || channels == 3);
+}
+
+Word Frame::at(int x, int y) const {
+  HWPAT_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return pixels_[static_cast<std::size_t>(y) *
+                     static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+void Frame::set(int x, int y, Word v) {
+  HWPAT_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+  pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+          static_cast<std::size_t>(x)] = truncate(v, pixel_bits());
+}
+
+Frame gradient(int w, int h) {
+  Frame f(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      f.set(x, y, static_cast<Word>((x + y) * 255 / std::max(1, w + h - 2)));
+  return f;
+}
+
+Frame checkerboard(int w, int h, int tile) {
+  HWPAT_ASSERT(tile >= 1);
+  Frame f(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      f.set(x, y, ((x / tile + y / tile) % 2 != 0) ? 230 : 25);
+  return f;
+}
+
+Frame noise(int w, int h, unsigned seed) {
+  std::mt19937 rng(seed);
+  Frame f(w, h);
+  for (auto& p : f.pixels()) p = rng() % 256;
+  return f;
+}
+
+Frame bars(int w, int h) {
+  static constexpr Word kLevels[] = {235, 200, 165, 130, 95, 60, 25};
+  Frame f(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      f.set(x, y, kLevels[static_cast<std::size_t>(x * 7 / w) % 7]);
+  return f;
+}
+
+Frame noise_rgb(int w, int h, unsigned seed) {
+  std::mt19937 rng(seed);
+  Frame f(w, h, 3);
+  for (auto& p : f.pixels()) p = rng() & 0xFFFFFFu;
+  return f;
+}
+
+void save_pnm(const Frame& f, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out << (f.channels() == 1 ? "P5" : "P6") << "\n"
+      << f.width() << " " << f.height() << "\n255\n";
+  for (Word p : f.pixels()) {
+    if (f.channels() == 1) {
+      out.put(static_cast<char>(p & 0xFF));
+    } else {
+      out.put(static_cast<char>((p >> 16) & 0xFF));  // R
+      out.put(static_cast<char>((p >> 8) & 0xFF));   // G
+      out.put(static_cast<char>(p & 0xFF));          // B
+    }
+  }
+  if (!out) throw Error("write failed: " + path);
+}
+
+namespace {
+
+void skip_pnm_whitespace(std::istream& in) {
+  while (true) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c) != 0) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int read_pnm_int(std::istream& in) {
+  skip_pnm_whitespace(in);
+  int v = 0;
+  in >> v;
+  return v;
+}
+
+}  // namespace
+
+Frame load_pnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open for reading: " + path);
+  std::string magic;
+  in >> magic;
+  const bool rgb = magic == "P6";
+  if (!rgb && magic != "P5")
+    throw Error("unsupported PNM magic '" + magic + "' in " + path);
+  const int w = read_pnm_int(in);
+  const int h = read_pnm_int(in);
+  const int maxv = read_pnm_int(in);
+  if (maxv != 255) throw Error("only 8-bit PNM supported: " + path);
+  in.get();  // single whitespace after the header
+  Frame f(w, h, rgb ? 3 : 1);
+  for (auto& p : f.pixels()) {
+    if (!rgb) {
+      p = static_cast<Word>(static_cast<unsigned char>(in.get()));
+    } else {
+      const Word r = static_cast<unsigned char>(in.get());
+      const Word g = static_cast<unsigned char>(in.get());
+      const Word b = static_cast<unsigned char>(in.get());
+      p = (r << 16) | (g << 8) | b;
+    }
+  }
+  if (!in) throw Error("truncated PNM file: " + path);
+  return f;
+}
+
+Frame blur_reference(const Frame& f) {
+  HWPAT_ASSERT(f.channels() == 1);
+  const auto out =
+      core::model::blur3x3(f.pixels(), f.width(), f.height(), 8);
+  Frame r(f.width() - 2, f.height() - 2);
+  r.pixels() = out;
+  return r;
+}
+
+}  // namespace hwpat::video

@@ -1,0 +1,71 @@
+// Frame: the image type of the video substrate.
+//
+// Pixels are stored as packed words: grayscale frames hold one 8-bit
+// sample per pixel; RGB frames pack three 8-bit channels per word
+// (R in bits 23:16, G in 15:8, B in 7:0), matching the 24-bit pixel of
+// the paper's §3.3 format-change scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace hwpat::video {
+
+class Frame {
+ public:
+  Frame() = default;
+  Frame(int width, int height, int channels = 1, Word fill = 0);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int channels() const { return channels_; }
+  [[nodiscard]] int pixel_bits() const { return 8 * channels_; }
+  [[nodiscard]] std::size_t pixel_count() const { return pixels_.size(); }
+  [[nodiscard]] bool empty() const { return pixels_.empty(); }
+
+  [[nodiscard]] Word at(int x, int y) const;
+  void set(int x, int y, Word v);
+
+  [[nodiscard]] const std::vector<Word>& pixels() const { return pixels_; }
+  [[nodiscard]] std::vector<Word>& pixels() { return pixels_; }
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 1;
+  std::vector<Word> pixels_;
+};
+
+// ---------------------------------------------------------------------
+// Test patterns (the synthetic camera feed)
+// ---------------------------------------------------------------------
+
+/// Diagonal grayscale gradient.
+[[nodiscard]] Frame gradient(int w, int h);
+/// Checkerboard with the given tile size.
+[[nodiscard]] Frame checkerboard(int w, int h, int tile = 4);
+/// Uniform random noise (deterministic per seed).
+[[nodiscard]] Frame noise(int w, int h, unsigned seed);
+/// Vertical grayscale bars (like SMPTE bars, collapsed to luma).
+[[nodiscard]] Frame bars(int w, int h);
+/// RGB noise frame (24-bit packed pixels).
+[[nodiscard]] Frame noise_rgb(int w, int h, unsigned seed);
+
+// ---------------------------------------------------------------------
+// PGM/PPM I/O (binary, P5/P6)
+// ---------------------------------------------------------------------
+
+/// Writes grayscale frames as PGM (P5), RGB frames as PPM (P6).
+void save_pnm(const Frame& f, const std::string& path);
+/// Loads a P5/P6 file.
+[[nodiscard]] Frame load_pnm(const std::string& path);
+
+/// Reference 3x3 Gaussian blur of a grayscale frame (interior only),
+/// the frame-level wrapper of core::model::blur3x3.
+[[nodiscard]] Frame blur_reference(const Frame& f);
+
+}  // namespace hwpat::video

@@ -1,0 +1,133 @@
+#include "video/stream.hpp"
+
+#include "common/error.hpp"
+
+namespace hwpat::video {
+
+VideoSource::VideoSource(Module* parent, std::string name, Config cfg,
+                         core::StreamProducer out, Bit& sof,
+                         std::vector<Frame> frames)
+    : Module(parent, std::move(name)),
+      cfg_(cfg),
+      out_(out),
+      sof_(sof),
+      frames_(std::move(frames)) {
+  HWPAT_ASSERT(cfg_.pixel_interval >= 1);
+  HWPAT_ASSERT(cfg_.frame_blanking >= 0);
+  for (const Frame& f : frames_) HWPAT_ASSERT(!f.empty());
+}
+
+bool VideoSource::pixel_due() const {
+  if (done() || frame_idx_ >= frames_.size()) return false;
+  return wait_ == 0;
+}
+
+void VideoSource::eval_comb() {
+  const bool due = pixel_due();
+  const bool go =
+      due && (!cfg_.respect_backpressure || out_.can_push.read());
+  out_.push.write(go);
+  if (go) {
+    const Frame& f = frames_[frame_idx_];
+    out_.push_data.write(f.pixels()[pix_idx_]);
+    sof_.write(pix_idx_ == 0);
+  } else {
+    out_.push_data.write(0);
+    sof_.write(false);
+  }
+}
+
+void VideoSource::on_clock() {
+  if (wait_ > 0) {
+    --wait_;
+    return;
+  }
+  if (done() || frame_idx_ >= frames_.size()) return;
+  if (cfg_.respect_backpressure && !out_.can_push.read()) return;
+  // The pixel was pushed this edge.
+  ++sent_;
+  const Frame& f = frames_[frame_idx_];
+  if (++pix_idx_ >= f.pixel_count()) {
+    pix_idx_ = 0;
+    ++frame_idx_;
+    if (cfg_.loop && frame_idx_ >= frames_.size()) frame_idx_ = 0;
+    wait_ = cfg_.pixel_interval - 1 + cfg_.frame_blanking;
+  } else {
+    wait_ = cfg_.pixel_interval - 1;
+  }
+}
+
+void VideoSource::on_reset() {
+  frame_idx_ = 0;
+  pix_idx_ = 0;
+  wait_ = 0;
+  sent_ = 0;
+}
+
+void VideoSource::report(rtl::PrimitiveTally& t) const {
+  // The decoder-side sync logic: line/pixel counters and sync decode.
+  if (frames_.empty()) return;
+  const int xb = bits_for(static_cast<Word>(frames_[0].width()));
+  const int yb = bits_for(static_cast<Word>(frames_[0].height()));
+  t.regs(xb + yb + 4);
+  t.adder(xb + yb);
+  t.comparator(xb + yb);
+  t.lut(4);
+  t.depth(2);
+}
+
+VgaSink::VgaSink(Module* parent, std::string name, Config cfg,
+                 core::StreamConsumer in)
+    : Module(parent, std::move(name)),
+      cfg_(cfg),
+      in_(in),
+      current_(cfg.width, cfg.height, cfg.channels) {
+  HWPAT_ASSERT(cfg_.pixel_interval >= 1);
+}
+
+void VgaSink::eval_comb() {
+  in_.pop.write(wait_ == 0 && in_.can_pop.read());
+}
+
+void VgaSink::on_clock() {
+  if (wait_ > 0) {
+    --wait_;
+    return;
+  }
+  if (!in_.can_pop.read()) {
+    if (cfg_.strict_rate && streaming_)
+      throw ProtocolError("VGA sink '" + full_name() +
+                          "': pixel underrun (pipeline too slow for the "
+                          "display rate)");
+    return;
+  }
+  streaming_ = true;
+  current_.pixels()[pix_idx_] = in_.front.read();
+  ++received_;
+  if (++pix_idx_ >= current_.pixel_count()) {
+    frames_.push_back(current_);
+    pix_idx_ = 0;
+  }
+  wait_ = cfg_.pixel_interval - 1;
+}
+
+void VgaSink::on_reset() {
+  frames_.clear();
+  pix_idx_ = 0;
+  wait_ = 0;
+  streaming_ = false;
+  received_ = 0;
+}
+
+void VgaSink::report(rtl::PrimitiveTally& t) const {
+  // VGA timing generator: horizontal/vertical counters + sync compare.
+  const int xb = bits_for(static_cast<Word>(cfg_.width) + 160);
+  const int yb = bits_for(static_cast<Word>(cfg_.height) + 45);
+  t.regs(xb + yb + 3);
+  t.adder(xb + yb);
+  t.comparator(2 * (xb + yb));  // sync start/end per axis
+  t.lut(4);
+  t.depth(2);
+}
+
+}  // namespace hwpat::video

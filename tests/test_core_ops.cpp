@@ -1,0 +1,157 @@
+// Tests of the admissibility rules encoding Tables 1 and 2 of the
+// paper, and of the container-to-device legality of §3.4.
+#include <gtest/gtest.h>
+
+#include "core/ops.hpp"
+
+namespace hwpat::core {
+namespace {
+
+using devices::DeviceKind;
+
+TEST(OpSet, BasicSetAlgebra) {
+  OpSet s{Op::Inc, Op::Read};
+  EXPECT_TRUE(s.contains(Op::Inc));
+  EXPECT_TRUE(s.contains(Op::Read));
+  EXPECT_FALSE(s.contains(Op::Write));
+  EXPECT_EQ(s.size(), 2u);
+  s.insert(Op::Write);
+  EXPECT_EQ(s.size(), 3u);
+  s.erase(Op::Inc);
+  EXPECT_FALSE(s.contains(Op::Inc));
+  EXPECT_TRUE((OpSet{Op::Read}).subset_of(s));
+  EXPECT_FALSE(s.subset_of(OpSet{Op::Read}));
+  EXPECT_TRUE(OpSet{}.empty());
+  EXPECT_EQ(s.intersect(OpSet{Op::Read, Op::Inc}), (OpSet{Op::Read}));
+}
+
+TEST(OpSet, StringRendering) {
+  EXPECT_EQ((OpSet{Op::Inc, Op::Read}).str(), "{inc, read}");
+  EXPECT_EQ(OpSet{}.str(), "{}");
+}
+
+// Table 2: operation sets per traversal/role.
+TEST(Table2, ForwardInputIsIncRead) {
+  EXPECT_EQ(ops_for(Traversal::Forward, IterRole::Input),
+            (OpSet{Op::Inc, Op::Read}));
+}
+
+TEST(Table2, BackwardInputIsDecRead) {
+  EXPECT_EQ(ops_for(Traversal::Backward, IterRole::Input),
+            (OpSet{Op::Dec, Op::Read}));
+}
+
+TEST(Table2, BidirectionalIOHasIncDecReadWrite) {
+  EXPECT_EQ(ops_for(Traversal::Bidirectional, IterRole::InputOutput),
+            (OpSet{Op::Inc, Op::Dec, Op::Read, Op::Write}));
+}
+
+TEST(Table2, RandomUsesIndexNotIncDec) {
+  const OpSet s = ops_for(Traversal::Random, IterRole::InputOutput);
+  EXPECT_TRUE(s.contains(Op::Index));
+  EXPECT_FALSE(s.contains(Op::Inc));
+  EXPECT_FALSE(s.contains(Op::Dec));
+}
+
+TEST(Table2, OutputRoleHasNoRead) {
+  const OpSet s = ops_for(Traversal::Forward, IterRole::Output);
+  EXPECT_TRUE(s.contains(Op::Write));
+  EXPECT_FALSE(s.contains(Op::Read));
+}
+
+// Table 1: admissibility matrix, row by row.
+TEST(Table1, StackRow) {
+  EXPECT_TRUE(iterator_admissible(ContainerKind::Stack, Traversal::Backward,
+                                  IterRole::Input));
+  EXPECT_TRUE(iterator_admissible(ContainerKind::Stack, Traversal::Forward,
+                                  IterRole::Output));
+  EXPECT_FALSE(iterator_admissible(ContainerKind::Stack, Traversal::Forward,
+                                   IterRole::Input));
+  EXPECT_FALSE(iterator_admissible(ContainerKind::Stack, Traversal::Random,
+                                   IterRole::Input));
+}
+
+TEST(Table1, QueueRow) {
+  EXPECT_TRUE(iterator_admissible(ContainerKind::Queue, Traversal::Forward,
+                                  IterRole::Input));
+  EXPECT_TRUE(iterator_admissible(ContainerKind::Queue, Traversal::Forward,
+                                  IterRole::Output));
+  EXPECT_FALSE(iterator_admissible(ContainerKind::Queue,
+                                   Traversal::Backward, IterRole::Input));
+  EXPECT_FALSE(iterator_admissible(ContainerKind::Queue, Traversal::Random,
+                                   IterRole::InputOutput));
+}
+
+TEST(Table1, ReadBufferRow) {
+  EXPECT_TRUE(iterator_admissible(ContainerKind::ReadBuffer,
+                                  Traversal::Forward, IterRole::Input));
+  EXPECT_FALSE(iterator_admissible(ContainerKind::ReadBuffer,
+                                   Traversal::Forward, IterRole::Output));
+  EXPECT_FALSE(iterator_admissible(ContainerKind::ReadBuffer,
+                                   Traversal::Backward, IterRole::Input));
+}
+
+TEST(Table1, WriteBufferRow) {
+  EXPECT_TRUE(iterator_admissible(ContainerKind::WriteBuffer,
+                                  Traversal::Forward, IterRole::Output));
+  EXPECT_FALSE(iterator_admissible(ContainerKind::WriteBuffer,
+                                   Traversal::Forward, IterRole::Input));
+}
+
+TEST(Table1, VectorRowAdmitsEverythingPositional) {
+  for (auto t : {Traversal::Forward, Traversal::Backward,
+                 Traversal::Bidirectional, Traversal::Random}) {
+    for (auto r :
+         {IterRole::Input, IterRole::Output, IterRole::InputOutput}) {
+      EXPECT_TRUE(iterator_admissible(ContainerKind::Vector, t, r))
+          << to_string(t) << " " << to_string(r);
+    }
+  }
+}
+
+TEST(Table1, AssocArrayAdmitsNoIterators) {
+  for (auto t : {Traversal::Forward, Traversal::Backward,
+                 Traversal::Bidirectional, Traversal::Random}) {
+    for (auto r :
+         {IterRole::Input, IterRole::Output, IterRole::InputOutput}) {
+      EXPECT_FALSE(iterator_admissible(ContainerKind::AssocArray, t, r));
+    }
+  }
+}
+
+// §3.4 device legality.
+TEST(DeviceLegality, EveryContainerMapsOntoRam) {
+  for (auto k : {ContainerKind::Stack, ContainerKind::Queue,
+                 ContainerKind::ReadBuffer, ContainerKind::WriteBuffer,
+                 ContainerKind::Vector, ContainerKind::AssocArray}) {
+    EXPECT_TRUE(device_legal(k, DeviceKind::Sram)) << to_string(k);
+    EXPECT_TRUE(device_legal(k, DeviceKind::BlockRam)) << to_string(k);
+  }
+}
+
+TEST(DeviceLegality, CoresAreKindSpecific) {
+  EXPECT_TRUE(device_legal(ContainerKind::Queue, DeviceKind::FifoCore));
+  EXPECT_TRUE(device_legal(ContainerKind::Stack, DeviceKind::LifoCore));
+  EXPECT_FALSE(device_legal(ContainerKind::Stack, DeviceKind::FifoCore));
+  EXPECT_FALSE(device_legal(ContainerKind::Queue, DeviceKind::LifoCore));
+  EXPECT_FALSE(device_legal(ContainerKind::Vector, DeviceKind::FifoCore));
+}
+
+TEST(DeviceLegality, OnlyReadBufferGetsTheLineBuffer) {
+  EXPECT_TRUE(
+      device_legal(ContainerKind::ReadBuffer, DeviceKind::LineBuffer3));
+  EXPECT_FALSE(device_legal(ContainerKind::Queue, DeviceKind::LineBuffer3));
+  EXPECT_FALSE(
+      device_legal(ContainerKind::WriteBuffer, DeviceKind::LineBuffer3));
+}
+
+TEST(Strings, AllEnumsRender) {
+  EXPECT_EQ(to_string(ContainerKind::ReadBuffer), "rbuffer");
+  EXPECT_EQ(to_string(Traversal::Bidirectional), "bidirectional");
+  EXPECT_EQ(to_string(IterRole::InputOutput), "input_output");
+  EXPECT_EQ(to_string(Op::Index), "index");
+  EXPECT_EQ(devices::to_string(DeviceKind::LineBuffer3), "linebuf3");
+}
+
+}  // namespace
+}  // namespace hwpat::core

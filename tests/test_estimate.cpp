@@ -1,0 +1,135 @@
+// Estimator tests: tally roll-up over module trees, technology folding,
+// the external-RAM clock bound, and monotonicity properties.
+#include <gtest/gtest.h>
+
+#include "devices/fifo.hpp"
+#include "devices/sram.hpp"
+#include "estimate/tech.hpp"
+#include "rtl/simulator.hpp"
+
+namespace hwpat::estimate {
+namespace {
+
+using rtl::Bit;
+using rtl::Bus;
+using rtl::Module;
+
+struct Leaf : Module {
+  rtl::PrimitiveTally own;
+  Leaf(Module* parent, std::string name, rtl::PrimitiveTally t)
+      : Module(parent, std::move(name)), own(t) {}
+  void report(rtl::PrimitiveTally& t) const override { t.add(own); }
+};
+
+TEST(Collect, SumsOverTheTree) {
+  Module top(nullptr, "top");
+  rtl::PrimitiveTally a, b;
+  a.regs(8).depth(2);
+  b.regs(4).lut(3).depth(5);
+  Leaf l1(&top, "a", a);
+  Module mid(&top, "mid");
+  Leaf l2(&mid, "b", b);
+  const auto t = collect(top);
+  EXPECT_EQ(t.reg_bits, 12);
+  EXPECT_EQ(t.lut_raw, 3);
+  EXPECT_EQ(t.logic_levels, 5);  // max-fold
+}
+
+TEST(Fold, LutWeights) {
+  rtl::PrimitiveTally t;
+  t.mux2(10).adder(10).comparator(10).distram(32).lut(5);
+  const auto r = fold(t, false);
+  // 10 + 10 + 5 + 2 + 5 = 32
+  EXPECT_EQ(r.lut, 32);
+  EXPECT_EQ(r.ff, 0);
+}
+
+TEST(Fold, FfIsRegBits) {
+  rtl::PrimitiveTally t;
+  t.regs(147);
+  EXPECT_EQ(fold(t, false).ff, 147);
+}
+
+TEST(Fold, IoBoundDominatesShallowLogic) {
+  rtl::PrimitiveTally t;
+  t.depth(2);  // trivially fast logic
+  const auto r = fold(t, false);
+  EXPECT_NEAR(r.fmax_mhz, 98.0, 0.5);  // the board's I/O bound
+}
+
+TEST(Fold, ExternalRamLowersTheClock) {
+  rtl::PrimitiveTally t;
+  t.depth(2);
+  const auto on_chip = fold(t, false);
+  const auto off_chip = fold(t, true);
+  EXPECT_GT(on_chip.fmax_mhz, off_chip.fmax_mhz);
+  EXPECT_NEAR(off_chip.fmax_mhz, 96.0, 0.5);
+}
+
+TEST(Fold, DeepLogicBecomesTheBound) {
+  rtl::PrimitiveTally t;
+  t.depth(12);
+  const auto r = fold(t, false);
+  EXPECT_LT(r.fmax_mhz, 60.0);
+}
+
+TEST(Fold, MonotoneInEveryPrimitive) {
+  rtl::PrimitiveTally base;
+  base.regs(10).adder(10).lut(10).depth(3);
+  const auto r0 = fold(base, false);
+  for (int which = 0; which < 4; ++which) {
+    rtl::PrimitiveTally t = base;
+    switch (which) {
+      case 0: t.regs(5); break;
+      case 1: t.adder(5); break;
+      case 2: t.mux2(5); break;
+      case 3: t.comparator(6); break;
+    }
+    const auto r = fold(t, false);
+    EXPECT_GE(r.ff, r0.ff);
+    EXPECT_GE(r.lut, r0.lut);
+  }
+}
+
+TEST(Detect, ExternalRamInTree) {
+  struct SramTb : Module {
+    Bit req{*this, "req"}, we{*this, "we"}, ack{*this, "ack"};
+    Bus addr, wdata, rdata;
+    devices::ExternalSram sram;
+    SramTb()
+        : Module(nullptr, "tb"),
+          addr(*this, "addr", 8),
+          wdata(*this, "wdata", 8),
+          rdata(*this, "rdata", 8),
+          sram(this, "sram", {.data_width = 8, .addr_width = 8},
+               devices::SramPorts{req, we, addr, wdata, ack, rdata}) {}
+  };
+  SramTb with_ram;
+  EXPECT_TRUE(uses_external_ram(with_ram));
+  Module without(nullptr, "x");
+  EXPECT_FALSE(uses_external_ram(without));
+}
+
+TEST(Estimate, FifoDesignEndToEnd) {
+  struct FifoTb : Module {
+    Bit wr{*this, "wr"}, rd{*this, "rd"}, e{*this, "e"}, f{*this, "f"};
+    Bus wd, rdta, lvl;
+    devices::FifoCore fifo;
+    FifoTb()
+        : Module(nullptr, "tb"),
+          wd(*this, "wd", 8),
+          rdta(*this, "rd_d", 8),
+          lvl(*this, "lvl", 16),
+          fifo(this, "fifo", {.width = 8, .depth = 512},
+               devices::FifoPorts{wr, wd, rd, rdta, e, f, lvl}) {}
+  };
+  FifoTb tb;
+  const auto r = estimate(tb);
+  EXPECT_EQ(r.bram, 1);
+  EXPECT_GT(r.ff, 20);
+  EXPECT_GT(r.lut, 10);
+  EXPECT_NEAR(r.fmax_mhz, 98.0, 0.5);
+}
+
+}  // namespace
+}  // namespace hwpat::estimate

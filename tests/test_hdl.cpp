@@ -1,0 +1,126 @@
+// Unit tests of the VHDL AST and emitter.
+#include <gtest/gtest.h>
+
+#include "hdl/emit.hpp"
+
+namespace hwpat::hdl {
+namespace {
+
+TEST(Type, Rendering) {
+  EXPECT_EQ(Type::bit().str(), "std_logic");
+  EXPECT_EQ(Type::vec(8).str(), "std_logic_vector(7 downto 0)");
+  EXPECT_EQ(Type::vec(16).width(), 16);
+  EXPECT_EQ(Type::bit().width(), 1);
+}
+
+TEST(Entity, PortLookup) {
+  Entity e{.name = "x",
+           .generics = {},
+           .ports = {{"a", PortDir::In, Type::bit(), ""},
+                     {"b", PortDir::Out, Type::vec(4), ""}}};
+  ASSERT_NE(e.find_port("b"), nullptr);
+  EXPECT_EQ(e.find_port("b")->type.width(), 4);
+  EXPECT_EQ(e.find_port("zz"), nullptr);
+  EXPECT_EQ(e.port_names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Emit, EntityWithGroupedPorts) {
+  Entity e;
+  e.name = "rbuffer_fifo";
+  e.ports = {{"m_pop", PortDir::In, Type::bit(), "methods"},
+             {"data", PortDir::Out, Type::vec(8), "params"},
+             {"p_empty", PortDir::In, Type::bit(),
+              "implementation interface"}};
+  const std::string v = emit_entity(e);
+  EXPECT_NE(v.find("entity rbuffer_fifo is"), std::string::npos);
+  EXPECT_NE(v.find("-- methods"), std::string::npos);
+  EXPECT_NE(v.find("-- params"), std::string::npos);
+  EXPECT_NE(v.find("-- implementation interface"), std::string::npos);
+  EXPECT_NE(v.find("m_pop : in std_logic;"), std::string::npos);
+  EXPECT_NE(v.find("data : out std_logic_vector(7 downto 0);"),
+            std::string::npos);
+  // Last port: no trailing semicolon.
+  EXPECT_NE(v.find("p_empty : in std_logic\n"), std::string::npos);
+  EXPECT_NE(v.find("end rbuffer_fifo;"), std::string::npos);
+}
+
+TEST(Emit, EntityWithGenerics) {
+  Entity e;
+  e.name = "g";
+  e.generics = {{"WIDTH", "natural", "8"}, {"DEPTH", "natural", ""}};
+  const std::string v = emit_entity(e);
+  EXPECT_NE(v.find("WIDTH : natural := 8;"), std::string::npos);
+  EXPECT_NE(v.find("DEPTH : natural\n"), std::string::npos);
+}
+
+TEST(Emit, ArchitectureAssignsAndSignals) {
+  Architecture a;
+  a.of = "wrapper";
+  a.signals.push_back({"tmp", Type::vec(8), "(others => '0')"});
+  a.body.push_back(Assign{"data", "p_data"});
+  const std::string v = emit_architecture(a);
+  EXPECT_NE(v.find("architecture rtl of wrapper is"), std::string::npos);
+  EXPECT_NE(
+      v.find("signal tmp : std_logic_vector(7 downto 0) := (others => "
+             "'0');"),
+      std::string::npos);
+  EXPECT_NE(v.find("data <= p_data;"), std::string::npos);
+}
+
+TEST(Emit, ClockedProcessHasResetAndEdge) {
+  Architecture a;
+  a.of = "x";
+  Process p;
+  p.label = "fsm";
+  p.clocked = true;
+  p.reset_body = {"count <= (others => '0');"};
+  p.body = {"count <= count + 1;"};
+  a.body.push_back(p);
+  const std::string v = emit_architecture(a);
+  EXPECT_NE(v.find("fsm : process (clk, rst)"), std::string::npos);
+  EXPECT_NE(v.find("if rst = '1' then"), std::string::npos);
+  EXPECT_NE(v.find("elsif rising_edge(clk) then"), std::string::npos);
+}
+
+TEST(Emit, CombinationalProcessSensitivity) {
+  Architecture a;
+  a.of = "x";
+  Process p;
+  p.label = "mux";
+  p.sensitivity = {"a", "b", "sel"};
+  p.body = {"y <= a when sel = '0' else b;"};
+  a.body.push_back(p);
+  const std::string v = emit_architecture(a);
+  EXPECT_NE(v.find("mux : process (a, b, sel)"), std::string::npos);
+}
+
+TEST(Emit, InstancePortMap) {
+  Architecture a;
+  a.of = "top";
+  a.body.push_back(Instance{
+      "u0", "fifo", {{"wr_en", "push"}, {"rd_en", "pop"}}});
+  const std::string v = emit_architecture(a);
+  EXPECT_NE(v.find("u0 : fifo"), std::string::npos);
+  EXPECT_NE(v.find("wr_en => push,"), std::string::npos);
+  EXPECT_NE(v.find("rd_en => pop\n"), std::string::npos);
+}
+
+TEST(Emit, UnitIncludesContextClause) {
+  DesignUnit u;
+  u.entity.name = "t";
+  u.arch.of = "t";
+  const std::string v = emit_unit(u);
+  EXPECT_NE(v.find("library ieee;"), std::string::npos);
+  EXPECT_NE(v.find("use ieee.std_logic_1164.all;"), std::string::npos);
+}
+
+TEST(Legalize, Identifiers) {
+  EXPECT_EQ(legalize_identifier("RBuffer Fifo"), "rbuffer_fifo");
+  EXPECT_EQ(legalize_identifier("a--b__c"), "a_b_c");
+  EXPECT_EQ(legalize_identifier("3stage"), "u_3stage");
+  EXPECT_EQ(legalize_identifier("trailing_"), "trailing");
+  EXPECT_EQ(legalize_identifier(""), "u_");
+}
+
+}  // namespace
+}  // namespace hwpat::hdl

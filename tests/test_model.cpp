@@ -1,0 +1,257 @@
+// Tests of the software golden models themselves (the executable
+// specification must be trustworthy before the RTL is checked against
+// it).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/model/model.hpp"
+
+namespace hwpat::core::model {
+namespace {
+
+TEST(ModelQueue, FifoSemantics) {
+  BoundedQueue<int> q(3);
+  EXPECT_TRUE(q.empty());
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.front(), 1);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ModelQueue, OverflowUnderflowThrow) {
+  BoundedQueue<int> q(1);
+  EXPECT_THROW(q.pop(), ProtocolError);
+  q.push(1);
+  EXPECT_THROW(q.push(2), ProtocolError);
+}
+
+TEST(ModelStack, LifoSemantics) {
+  BoundedStack<int> s(4);
+  s.push(1);
+  s.push(2);
+  EXPECT_EQ(s.top(), 2);
+  EXPECT_EQ(s.pop(), 2);
+  EXPECT_EQ(s.pop(), 1);
+  EXPECT_THROW(s.pop(), ProtocolError);
+}
+
+TEST(ModelVector, ReadWriteAndBounds) {
+  FixedVector<int> v(4, 9);
+  EXPECT_EQ(v.read(0), 9);
+  v.write(2, 42);
+  EXPECT_EQ(v.read(2), 42);
+  EXPECT_THROW(v.read(4), ProtocolError);
+  EXPECT_THROW(v.write(5, 0), ProtocolError);
+}
+
+TEST(ModelAssoc, InsertLookupRemove) {
+  AssocArray<int, int> a(2);
+  EXPECT_FALSE(a.insert(1, 10));
+  EXPECT_TRUE(a.insert(1, 11));  // overwrite
+  EXPECT_EQ(a.lookup(1).value(), 11);
+  EXPECT_FALSE(a.lookup(2).has_value());
+  a.insert(2, 20);
+  EXPECT_TRUE(a.full());
+  EXPECT_THROW(a.insert(3, 30), ProtocolError);
+  EXPECT_TRUE(a.remove(1));
+  EXPECT_FALSE(a.remove(1));
+}
+
+TEST(ModelAlgorithms, CopyTransformReduce) {
+  BoundedQueue<Word> src(8), dst(8);
+  for (Word v : {1, 2, 3, 4}) src.push(v);
+  transform_n(src, dst, 4, [](Word v) { return v * 2; });
+  EXPECT_EQ(dst.pop(), 2u);
+  EXPECT_EQ(dst.pop(), 4u);
+
+  BoundedQueue<Word> src2(8);
+  for (Word v : {5, 6, 7}) src2.push(v);
+  EXPECT_EQ(reduce_n(src2, 3, Word{0},
+                     [](Word a, Word b) { return a + b; }),
+            18u);
+}
+
+TEST(ModelBlur, FlatImageInvariant) {
+  std::vector<Word> img(7 * 5, 200);
+  const auto out = blur3x3(img, 7, 5, 8);
+  ASSERT_EQ(out.size(), 5u * 3u);
+  for (Word p : out) EXPECT_EQ(p, 200u);
+}
+
+TEST(ModelBlur, KernelSumsTo16) {
+  // An impulse of 16k spreads exactly the kernel weights times k.
+  std::vector<Word> img(5 * 5, 0);
+  img[2 * 5 + 2] = 16;
+  const auto out = blur3x3(img, 5, 5, 8);
+  // 3x3 output, centred on the impulse.
+  const std::vector<Word> expect{1, 2, 1, 2, 4, 2, 1, 2, 1};
+  EXPECT_EQ(out, expect);
+}
+
+TEST(ModelBlur, LinearityProperty) {
+  // blur(a + b) == blur(a) + blur(b) when no truncation occurs
+  // (divisible sums): use multiples of 16 below overflow.
+  std::mt19937 rng(5);
+  std::vector<Word> a(6 * 6), b(6 * 6);
+  for (auto& p : a) p = (rng() % 4) * 16;
+  for (auto& p : b) p = (rng() % 4) * 16;
+  std::vector<Word> ab(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ab[i] = a[i] + b[i];
+  const auto ba = blur3x3(a, 6, 6, 8);
+  const auto bb = blur3x3(b, 6, 6, 8);
+  const auto bab = blur3x3(ab, 6, 6, 8);
+  for (std::size_t i = 0; i < bab.size(); ++i)
+    EXPECT_EQ(bab[i], ba[i] + bb[i]) << i;
+}
+
+TEST(ModelBlur, ShiftInvarianceProperty) {
+  // Blurring a horizontally shifted image shifts the blurred output.
+  std::mt19937 rng(6);
+  constexpr int kW = 10, kH = 6;
+  std::vector<Word> img(kW * kH);
+  for (auto& p : img) p = rng() % 256;
+  std::vector<Word> shifted(kW * kH, 0);
+  for (int y = 0; y < kH; ++y)
+    for (int x = 1; x < kW; ++x)
+      shifted[static_cast<std::size_t>(y * kW + x)] =
+          img[static_cast<std::size_t>(y * kW + x - 1)];
+  const auto b1 = blur3x3(img, kW, kH, 8);
+  const auto b2 = blur3x3(shifted, kW, kH, 8);
+  const int ow = kW - 2;
+  for (int y = 0; y < kH - 2; ++y)
+    for (int x = 1; x < ow; ++x)
+      EXPECT_EQ(b2[static_cast<std::size_t>(y * ow + x)],
+                b1[static_cast<std::size_t>(y * ow + x - 1)])
+          << x << "," << y;
+}
+
+// -------------------------------------------------------- labelling
+
+TEST(ModelLabel, SingleComponent) {
+  // 3x3 block of foreground in a 5x5 image.
+  std::vector<Word> img(25, 0);
+  for (int y = 1; y <= 3; ++y)
+    for (int x = 1; x <= 3; ++x) img[static_cast<std::size_t>(y * 5 + x)] = 1;
+  std::size_t n = 0;
+  const auto l = label4(img, 5, 5, &n);
+  EXPECT_EQ(n, 1u);
+  for (int i = 0; i < 25; ++i)
+    EXPECT_EQ(l[static_cast<std::size_t>(i)], img[static_cast<std::size_t>(i)]);
+}
+
+TEST(ModelLabel, DiagonalPixelsAreSeparateUnder4Connectivity) {
+  // Checkerboard: every foreground pixel is its own component.
+  std::vector<Word> img{1, 0, 1,
+                        0, 1, 0,
+                        1, 0, 1};
+  std::size_t n = 0;
+  const auto l = label4(img, 3, 3, &n);
+  EXPECT_EQ(n, 5u);
+  // All labels distinct.
+  std::set<Word> seen;
+  for (Word v : l)
+    if (v != 0) EXPECT_TRUE(seen.insert(v).second);
+}
+
+TEST(ModelLabel, UShapeMergesThroughEquivalence) {
+  // A 'U': two vertical arms joined at the bottom — the classic case
+  // that forces a label equivalence in the raster pass.
+  std::vector<Word> img{1, 0, 1,
+                        1, 0, 1,
+                        1, 1, 1};
+  std::size_t n = 0;
+  const auto l = label4(img, 3, 3, &n);
+  EXPECT_EQ(n, 1u);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    EXPECT_EQ(l[i], img[i]);  // single component labelled 1
+}
+
+TEST(ModelLabel, WShapeNeedsChainedEquivalences) {
+  // Three arms joined at the bottom: two merges onto one root.
+  std::vector<Word> img{1, 0, 1, 0, 1,
+                        1, 0, 1, 0, 1,
+                        1, 1, 1, 1, 1};
+  std::size_t n = 0;
+  const auto l = label4(img, 5, 3, &n);
+  EXPECT_EQ(n, 1u);
+  (void)l;
+}
+
+TEST(ModelLabel, TwoComponentsKeepOrder) {
+  std::vector<Word> img{1, 1, 0, 1, 1,
+                        1, 1, 0, 1, 1};
+  std::size_t n = 0;
+  const auto l = label4(img, 5, 2, &n);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(l[0], 1u);
+  EXPECT_EQ(l[3], 2u);
+}
+
+TEST(ModelLabel, RandomImagesComponentCountMatchesFloodFill) {
+  // Property: label4's component count equals an independent BFS
+  // flood-fill count on random binary images.
+  std::mt19937 rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int w = 12, h = 9;
+    std::vector<Word> img(static_cast<std::size_t>(w * h));
+    for (auto& p : img) p = rng() % 3 == 0 ? 1 : 0;
+
+    std::size_t n_label = 0;
+    label4(img, w, h, &n_label);
+
+    // Independent flood fill.
+    std::vector<bool> vis(img.size(), false);
+    std::size_t n_bfs = 0;
+    for (int start = 0; start < w * h; ++start) {
+      const auto s = static_cast<std::size_t>(start);
+      if (img[s] == 0 || vis[s]) continue;
+      ++n_bfs;
+      std::vector<int> stack{start};
+      vis[s] = true;
+      while (!stack.empty()) {
+        const int cur = stack.back();
+        stack.pop_back();
+        const int cx = cur % w, cy = cur / w;
+        const int nbs[4][2] = {{cx - 1, cy}, {cx + 1, cy},
+                               {cx, cy - 1}, {cx, cy + 1}};
+        for (const auto& nb : nbs) {
+          if (nb[0] < 0 || nb[0] >= w || nb[1] < 0 || nb[1] >= h) continue;
+          const auto ni = static_cast<std::size_t>(nb[1] * w + nb[0]);
+          if (img[ni] != 0 && !vis[ni]) {
+            vis[ni] = true;
+            stack.push_back(nb[1] * w + nb[0]);
+          }
+        }
+      }
+    }
+    EXPECT_EQ(n_label, n_bfs) << "trial " << trial;
+  }
+}
+
+TEST(ModelLabel, LabelsArePartitionedByConnectivity) {
+  // Property: two 4-adjacent foreground pixels always share a label.
+  std::mt19937 rng(23);
+  const int w = 10, h = 10;
+  std::vector<Word> img(100);
+  for (auto& p : img) p = rng() % 2;
+  const auto l = label4(img, w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const auto i = static_cast<std::size_t>(y * w + x);
+      if (img[i] == 0) continue;
+      if (x + 1 < w && img[i + 1] != 0) EXPECT_EQ(l[i], l[i + 1]);
+      if (y + 1 < h && img[i + static_cast<std::size_t>(w)] != 0)
+        EXPECT_EQ(l[i], l[i + static_cast<std::size_t>(w)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hwpat::core::model

@@ -1,0 +1,167 @@
+// Video substrate tests: frames, patterns, PNM round trips, and the
+// VideoSource / VgaSink stream endpoints.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/stream_core.hpp"
+#include "rtl/simulator.hpp"
+#include "tb_util.hpp"
+#include "video/frame.hpp"
+#include "video/stream.hpp"
+
+namespace hwpat::video {
+namespace {
+
+using rtl::Module;
+using rtl::Simulator;
+
+TEST(Frame, BasicAccessors) {
+  Frame f(4, 3, 1, 7);
+  EXPECT_EQ(f.width(), 4);
+  EXPECT_EQ(f.height(), 3);
+  EXPECT_EQ(f.pixel_bits(), 8);
+  EXPECT_EQ(f.pixel_count(), 12u);
+  EXPECT_EQ(f.at(2, 1), 7u);
+  f.set(2, 1, 0x1FF);  // truncated to 8 bits
+  EXPECT_EQ(f.at(2, 1), 0xFFu);
+}
+
+TEST(Frame, PatternsAreDeterministicAndDistinct) {
+  EXPECT_EQ(noise(8, 8, 1), noise(8, 8, 1));
+  EXPECT_NE(noise(8, 8, 1), noise(8, 8, 2));
+  EXPECT_NE(gradient(8, 8), checkerboard(8, 8));
+  const Frame b = bars(70, 4);
+  EXPECT_EQ(b.at(0, 0), 235u);
+  EXPECT_EQ(b.at(69, 3), 25u);
+}
+
+TEST(Frame, PnmGrayRoundTrip) {
+  const Frame f = noise(13, 7, 3);
+  const std::string path = "test_video_gray.pgm";
+  save_pnm(f, path);
+  EXPECT_EQ(load_pnm(path), f);
+  std::remove(path.c_str());
+}
+
+TEST(Frame, PnmRgbRoundTrip) {
+  const Frame f = noise_rgb(9, 5, 4);
+  const std::string path = "test_video_rgb.ppm";
+  save_pnm(f, path);
+  const Frame g = load_pnm(path);
+  EXPECT_EQ(g.channels(), 3);
+  EXPECT_EQ(g, f);
+  std::remove(path.c_str());
+}
+
+TEST(Frame, LoadRejectsBadMagic) {
+  const std::string path = "test_video_bad.pgm";
+  {
+    std::ofstream out(path);
+    out << "P3\n1 1\n255\n0\n";
+  }
+  EXPECT_THROW(load_pnm(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Frame, BlurReferenceShrinksByBorder) {
+  const Frame f = noise(10, 8, 5);
+  const Frame b = blur_reference(f);
+  EXPECT_EQ(b.width(), 8);
+  EXPECT_EQ(b.height(), 6);
+}
+
+// --------------------------------------------------- stream endpoints
+
+struct PipeTb : Module {
+  rtl::Bit sof{*this, "sof"};
+  core::StreamWires q_w;
+  core::CoreStreamContainer queue;
+  VideoSource src;
+  VgaSink vga;
+
+  PipeTb(std::vector<Frame> frames, VideoSource::Config scfg,
+         VgaSink::Config vcfg)
+      : Module(nullptr, "tb"),
+        q_w(*this, "q", 8, 16),
+        queue(this, "q",
+              {.kind = core::ContainerKind::Queue, .elem_bits = 8,
+               .depth = 1024},
+              q_w.impl()),
+        src(this, "src", scfg, q_w.producer(), sof, std::move(frames)),
+        vga(this, "vga", vcfg, q_w.consumer()) {}
+};
+
+TEST(VideoSource, DeliversFramesInOrder) {
+  const auto f1 = gradient(8, 6);
+  const auto f2 = noise(8, 6, 9);
+  PipeTb tb({f1, f2}, {.pixel_interval = 1, .frame_blanking = 4},
+            {.width = 8, .height = 6});
+  Simulator sim(tb);
+  sim.reset();
+  sim.run_until([&] { return tb.vga.frames().size() == 2; }, 10000);
+  EXPECT_EQ(tb.vga.frames()[0], f1);
+  EXPECT_EQ(tb.vga.frames()[1], f2);
+  EXPECT_TRUE(tb.src.done());
+}
+
+TEST(VideoSource, PixelIntervalThrottlesRate) {
+  const auto f = gradient(8, 4);
+  PipeTb tb({f}, {.pixel_interval = 3}, {.width = 8, .height = 4});
+  Simulator sim(tb);
+  sim.reset();
+  const auto n =
+      sim.run_until([&] { return tb.vga.frames().size() == 1; }, 10000);
+  // 32 pixels at one per 3 cycles: at least ~96 cycles.
+  EXPECT_GE(n, 3u * 32u - 3u);
+}
+
+TEST(VideoSource, LoopModeRepeats) {
+  const auto f = gradient(4, 3);
+  PipeTb tb({f}, {.pixel_interval = 1, .loop = true},
+            {.width = 4, .height = 3});
+  Simulator sim(tb);
+  sim.reset();
+  sim.run_until([&] { return tb.vga.frames().size() == 3; }, 10000);
+  EXPECT_FALSE(tb.src.done());
+  for (const auto& fr : tb.vga.frames()) EXPECT_EQ(fr, f);
+}
+
+TEST(VgaSink, StrictRateUnderrunThrows) {
+  // Source much slower than the display: underrun once streaming.
+  const auto f = gradient(8, 4);
+  PipeTb tb({f},
+            {.pixel_interval = 5, .respect_backpressure = true},
+            {.width = 8, .height = 4, .pixel_interval = 1,
+             .strict_rate = true});
+  Simulator sim(tb);
+  sim.reset();
+  EXPECT_THROW(sim.run_until([&] { return tb.vga.frames().size() == 1; },
+                             10000),
+               ProtocolError);
+}
+
+TEST(VgaSink, MatchedRateDoesNotUnderrun) {
+  const auto f = gradient(8, 4);
+  PipeTb tb({f},
+            {.pixel_interval = 1, .respect_backpressure = true},
+            {.width = 8, .height = 4, .pixel_interval = 1,
+             .strict_rate = true});
+  Simulator sim(tb);
+  sim.reset();
+  EXPECT_NO_THROW(sim.run_until(
+      [&] { return tb.vga.frames().size() == 1; }, 10000));
+}
+
+TEST(Endpoints, ReportDecoderAndTimingLogic) {
+  PipeTb tb({gradient(64, 48)}, {}, {.width = 64, .height = 48});
+  rtl::PrimitiveTally ts, tv;
+  tb.src.report(ts);
+  tb.vga.report(tv);
+  EXPECT_GT(ts.reg_bits, 0);
+  EXPECT_GT(tv.reg_bits, 0);
+}
+
+}  // namespace
+}  // namespace hwpat::video
