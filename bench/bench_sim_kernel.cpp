@@ -1,0 +1,106 @@
+// Simulation-kernel throughput (google-benchmark): event-driven
+// dirty-set scheduling vs the full-sweep reference kernel, on the blur
+// and saa2vga pattern designs at several resolutions.
+//
+// Each iteration builds a fresh design and simulates it to completion,
+// so the numbers cover a whole active pipeline run (reset, fill, frame,
+// drain) rather than an idle design — the workload the event-driven
+// kernel must win on, not a best case.
+//
+// Reported counters per benchmark:
+//   steps_per_sec    simulated rising clock edges per wall second
+//   sim_cycles       edges per design run
+//   evals_per_step   eval_comb() calls per edge (the quantity dirty-set
+//                    scheduling exists to shrink)
+//   commits_per_step SignalBase::commit() calls per edge
+//
+// bench/run_bench.sh runs this with JSON output into BENCH_sim.json;
+// the acceptance bar is >= 3x steps_per_sec for event vs full_sweep on
+// saa2vga_pattern at 48x32.
+#include <benchmark/benchmark.h>
+
+#include "designs/design.hpp"
+#include "rtl/simulator.hpp"
+
+namespace {
+
+using namespace hwpat;
+
+void run_once(designs::VideoDesign& d, bool full_sweep,
+              benchmark::State& state, std::uint64_t* cycles,
+              rtl::Simulator::Stats* stats) {
+  rtl::Simulator sim(d, {.full_sweep = full_sweep});
+  sim.reset();
+  sim.run_until([&] { return d.finished(); }, 50'000'000);
+  *cycles += sim.cycle();
+  stats->evals += sim.stats().evals;
+  stats->commits += sim.stats().commits;
+  stats->steps += sim.stats().steps;
+  benchmark::DoNotOptimize(d.sink().pixels_received());
+  (void)state;
+}
+
+void report(benchmark::State& state, std::uint64_t cycles,
+            const rtl::Simulator::Stats& stats) {
+  state.counters["steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles"] = benchmark::Counter(
+      static_cast<double>(cycles) / static_cast<double>(state.iterations()));
+  state.counters["evals_per_step"] = benchmark::Counter(
+      static_cast<double>(stats.evals) / static_cast<double>(stats.steps));
+  state.counters["commits_per_step"] = benchmark::Counter(
+      static_cast<double>(stats.commits) / static_cast<double>(stats.steps));
+}
+
+template <bool FullSweep>
+void BM_Saa2VgaPattern(benchmark::State& state) {
+  const designs::Saa2VgaConfig cfg{
+      .width = static_cast<int>(state.range(0)),
+      .height = static_cast<int>(state.range(1)),
+      .buffer_depth = 64,
+      .frames = 1};
+  std::uint64_t cycles = 0;
+  rtl::Simulator::Stats stats;
+  for (auto _ : state) {
+    auto d = designs::make_saa2vga_pattern(cfg);
+    run_once(*d, FullSweep, state, &cycles, &stats);
+  }
+  report(state, cycles, stats);
+}
+
+template <bool FullSweep>
+void BM_BlurPattern(benchmark::State& state) {
+  const designs::BlurConfig cfg{.width = static_cast<int>(state.range(0)),
+                                .height = static_cast<int>(state.range(1)),
+                                .frames = 1};
+  std::uint64_t cycles = 0;
+  rtl::Simulator::Stats stats;
+  for (auto _ : state) {
+    auto d = designs::make_blur_pattern(cfg);
+    run_once(*d, FullSweep, state, &cycles, &stats);
+  }
+  report(state, cycles, stats);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Saa2VgaPattern<false>)
+    ->Name("saa2vga_pattern/event")
+    ->Args({32, 24})
+    ->Args({48, 32})
+    ->Args({64, 48});
+BENCHMARK(BM_Saa2VgaPattern<true>)
+    ->Name("saa2vga_pattern/full_sweep")
+    ->Args({32, 24})
+    ->Args({48, 32})
+    ->Args({64, 48});
+BENCHMARK(BM_BlurPattern<false>)
+    ->Name("blur_pattern/event")
+    ->Args({32, 24})
+    ->Args({48, 32});
+BENCHMARK(BM_BlurPattern<true>)
+    ->Name("blur_pattern/full_sweep")
+    ->Args({32, 24})
+    ->Args({48, 32});
+// main() comes from benchmark_main (see CMakeLists.txt), as in the
+// other google-benchmark benches.

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Runs the simulation-kernel benchmark and records the result as
+# BENCH_sim.json in the repository root, so successive PRs accumulate a
+# perf trajectory.  Usage:
+#
+#   bench/run_bench.sh [build_dir]
+#
+# The build directory defaults to ./build and must already be
+# configured/built (tier-1 verify does that).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench="$build_dir/bench_sim_kernel"
+
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not built (run: cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+"$bench" \
+  --benchmark_format=console \
+  --benchmark_out="$repo_root/BENCH_sim.json" \
+  --benchmark_out_format=json
+
+echo
+echo "wrote $repo_root/BENCH_sim.json"

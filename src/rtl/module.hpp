@@ -67,6 +67,7 @@ class Module {
 
  private:
   friend class SignalBase;
+  friend class Simulator;
   void add_signal(SignalBase* s) { signals_.push_back(s); }
   void remove_signal(const SignalBase* s);
   void remove_child(const Module* m);
@@ -75,6 +76,10 @@ class Module {
   std::string name_;
   std::vector<Module*> children_;
   std::vector<SignalBase*> signals_;
+
+  // --- state owned by the binding Simulator (see simulator.cpp) ---
+  int sim_id_ = -1;          ///< dense id in elaboration order, -1 = unbound
+  bool comb_dirty_ = false;  ///< on the simulator's dirty-module worklist
 };
 
 }  // namespace hwpat::rtl

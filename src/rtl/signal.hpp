@@ -5,10 +5,18 @@
 // between evaluation rounds, which gives VHDL-like semantics: a process
 // never observes a value written in the same round, so evaluation order
 // of modules is irrelevant and simulation is deterministic.
+//
+// Event-driven hooks (see src/rtl/README.md): once a Simulator binds the
+// design, every write() enqueues the signal on the simulator's
+// pending-commit list, and every read() that happens inside a traced
+// eval_comb() is recorded so the simulator can learn which modules are
+// sensitive to which signals.  Unbound signals (no simulator, or the
+// full-sweep reference mode) behave exactly as before.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
@@ -16,6 +24,29 @@
 namespace hwpat::rtl {
 
 class Module;
+class SignalBase;
+
+/// Records which signals a combinational process reads while it runs.
+/// The simulator points SignalBase::tracer_ at one of these around each
+/// traced eval_comb() call; read() funnels every signal through record().
+/// Deduplication within one trace is O(1) via a per-signal stamp.
+class ReadTracer {
+ public:
+  /// Starts a new trace.  `stamp` must be unique per trace (the
+  /// simulator uses a monotonically increasing eval counter).
+  void begin(std::uint64_t stamp) {
+    stamp_ = stamp;
+    reads_.clear();
+  }
+  inline void record(SignalBase* s);
+  [[nodiscard]] const std::vector<SignalBase*>& reads() const {
+    return reads_;
+  }
+
+ private:
+  std::uint64_t stamp_ = 0;
+  std::vector<SignalBase*> reads_;
+};
 
 /// Untyped base for all signals.  Signals register themselves with their
 /// owning module on construction; the simulator discovers them by walking
@@ -37,6 +68,15 @@ class SignalBase {
   [[nodiscard]] int width() const { return width_; }
   [[nodiscard]] Module& owner() const { return owner_; }
 
+  /// Dense id assigned by the binding Simulator (elaboration order);
+  /// -1 while unbound.
+  [[nodiscard]] int id() const { return id_; }
+  /// Modules whose eval_comb() has been observed to read this signal.
+  /// Grown lazily by the event-driven scheduler; empty while unbound.
+  [[nodiscard]] const std::vector<Module*>& fanout() const {
+    return fanout_;
+  }
+
   /// Copies next into current.  Returns true when the visible value
   /// changed (used by the delta-cycle settling loop).
   virtual bool commit() = 0;
@@ -45,10 +85,60 @@ class SignalBase {
   /// Current value as a word, for VCD dumping (width <= 64 only).
   [[nodiscard]] virtual Word as_word() const = 0;
 
+ protected:
+  /// Called by Signal<T>::write(): schedules this signal for commit on
+  /// the bound simulator's pending list (at most once until drained).
+  void note_write() {
+    if (queue_ != nullptr && !pending_) {
+      pending_ = true;
+      queue_->push_back(this);
+    }
+  }
+  /// Called by Signal<T>::read(): reports the read to the active tracer,
+  /// if any (i.e. inside a traced eval_comb()).
+  void note_read() const {
+    if (tracer_ != nullptr) tracer_->record(const_cast<SignalBase*>(this));
+  }
+
  private:
+  friend class Simulator;
+  friend class VcdWriter;
+  friend class ReadTracer;
+  friend class TraceGuard;
+
   Module& owner_;
   std::string name_;
   int width_;
+
+  // --- state owned by the binding Simulator (see simulator.cpp) ---
+  int id_ = -1;                            ///< dense id, -1 = unbound
+  bool pending_ = false;                   ///< on the pending-commit list
+  bool vcd_mark_ = false;                  ///< on the changed-since-sample list
+  std::uint64_t read_stamp_ = 0;           ///< ReadTracer dedup marker
+  std::vector<SignalBase*>* queue_ = nullptr;  ///< pending-commit list
+  std::vector<Module*> fanout_;            ///< observed comb readers
+  Module* last_reader_ = nullptr;          ///< fanout-merge fast path
+
+  /// Active trace, if any.  thread_local so simulators over disjoint
+  /// designs may run on different threads.
+  static inline thread_local ReadTracer* tracer_ = nullptr;
+};
+
+inline void ReadTracer::record(SignalBase* s) {
+  if (s->read_stamp_ == stamp_) return;
+  s->read_stamp_ = stamp_;
+  reads_.push_back(s);
+}
+
+/// Kernel internal: installs a read tracer for the current scope and
+/// uninstalls it on exit, even when eval_comb() throws (ProtocolError in
+/// strict device modes is an expected test path).
+class TraceGuard {
+ public:
+  explicit TraceGuard(ReadTracer* t) { SignalBase::tracer_ = t; }
+  ~TraceGuard() { SignalBase::tracer_ = nullptr; }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
 };
 
 /// Generic two-phase signal.  T must be equality-comparable and copyable.
@@ -64,9 +154,18 @@ class Signal : public SignalBase {
         init_(init) {}
 
   /// Value visible to processes this round.
-  [[nodiscard]] const T& read() const { return cur_; }
-  /// Schedules `v` to become visible after the next commit.
-  void write(const T& v) { nxt_ = v; }
+  [[nodiscard]] const T& read() const {
+    note_read();
+    return cur_;
+  }
+  /// Schedules `v` to become visible after the next commit.  Writes
+  /// that leave the visible value unchanged need no commit, so they are
+  /// not enqueued on the simulator's pending list (the common case: a
+  /// comb process re-asserting the same output every delta).
+  void write(const T& v) {
+    nxt_ = v;
+    if (!(nxt_ == cur_)) note_write();
+  }
   /// Restores the construction-time value on both phases (reset).
   void reset_value() override { cur_ = nxt_ = init_; }
 

@@ -1,64 +1,262 @@
 #include "rtl/simulator.hpp"
 
+#include <algorithm>
+
 #include "rtl/vcd.hpp"
 
 namespace hwpat::rtl {
 
-Simulator::Simulator(Module& top) : top_(top) {
+Simulator::Simulator(Module& top, Options opt) : top_(top), opt_(opt) {
+  HWPAT_ASSERT(opt_.delta_limit > 0);
   top_.visit([this](Module& m) {
     modules_.push_back(&m);
     for (SignalBase* s : m.signals()) signals_.push_back(s);
   });
+  bind();
 }
 
-Simulator::~Simulator() = default;
+Simulator::~Simulator() { unbind(); }
+
+void Simulator::bind() {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    Module* m = modules_[i];
+    HWPAT_ASSERT(m->sim_id_ < 0 && "design already bound to a simulator");
+    m->sim_id_ = static_cast<int>(i);
+    m->comb_dirty_ = false;
+  }
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    SignalBase* s = signals_[i];
+    s->id_ = static_cast<int>(i);
+    s->pending_ = false;
+    s->vcd_mark_ = false;
+    s->read_stamp_ = 0;
+    s->fanout_.clear();
+    s->last_reader_ = nullptr;
+    s->queue_ = opt_.full_sweep ? nullptr : &pending_;
+  }
+  if (!opt_.full_sweep) {
+    // Writes made before binding never reached the pending list, and no
+    // sensitivity is known yet: make the first settle a full one.
+    for (SignalBase* s : signals_) {
+      s->pending_ = true;
+      pending_.push_back(s);
+    }
+    mark_all_modules_dirty();
+  }
+}
+
+void Simulator::unbind() {
+  for (Module* m : modules_) {
+    m->sim_id_ = -1;
+    m->comb_dirty_ = false;
+  }
+  for (SignalBase* s : signals_) {
+    s->id_ = -1;
+    s->pending_ = false;
+    s->vcd_mark_ = false;
+    s->read_stamp_ = 0;
+    s->fanout_.clear();
+    s->last_reader_ = nullptr;
+    s->queue_ = nullptr;
+  }
+}
 
 void Simulator::set_delta_limit(int limit) {
   HWPAT_ASSERT(limit > 0);
-  delta_limit_ = limit;
+  opt_.delta_limit = limit;
 }
+
+void Simulator::throw_comb_loop() const {
+  throw CombLoopError(
+      "combinational logic did not settle within " +
+      std::to_string(opt_.delta_limit) + " delta cycles in design '" +
+      top_.name() + "' — likely a combinational feedback loop");
+}
+
+// ---------------------------------------------------------------------
+// Full-sweep reference kernel (the original O(modules × signals) loop)
+// ---------------------------------------------------------------------
 
 void Simulator::commit_all(bool* changed) {
   bool any = false;
-  for (SignalBase* s : signals_) any = s->commit() || any;
+  for (SignalBase* s : signals_) {
+    ++stats_.commits;
+    if (s->commit()) {
+      ++stats_.commit_changes;
+      any = true;
+      // No mark_vcd_change(): full-sweep sampling always scans all.
+    }
+  }
   if (changed != nullptr) *changed = any;
 }
 
-void Simulator::settle() {
-  for (int iter = 0; iter < delta_limit_; ++iter) {
-    for (Module* m : modules_) m->eval_comb();
+void Simulator::settle_full_sweep() {
+  for (int iter = 0; iter < opt_.delta_limit; ++iter) {
+    ++stats_.deltas;
+    for (Module* m : modules_) {
+      ++stats_.evals;
+      m->eval_comb();
+    }
     bool changed = false;
     commit_all(&changed);
     if (!changed) return;
   }
-  throw CombLoopError(
-      "combinational logic did not settle within " +
-      std::to_string(delta_limit_) + " delta cycles in design '" +
-      top_.name() + "' — likely a combinational feedback loop");
+  throw_comb_loop();
+}
+
+// ---------------------------------------------------------------------
+// Event-driven kernel
+// ---------------------------------------------------------------------
+
+void Simulator::eval_traced(Module* m) {
+  ++stats_.evals;
+  tracer_.begin(++eval_stamp_);
+  {
+    TraceGuard guard(&tracer_);
+    m->eval_comb();
+  }
+  // Fold newly observed reads into the signals' fanout lists.  The
+  // accumulated read set is monotone, so a module is re-evaluated
+  // whenever any signal it has *ever* read changes — a superset of the
+  // signals its current execution path depends on, hence sound even for
+  // data-dependent reads.
+  for (SignalBase* s : tracer_.reads()) {
+    if (s->last_reader_ == m) continue;  // already merged on the last read
+    auto& fo = s->fanout_;
+    if (std::find(fo.begin(), fo.end(), m) == fo.end()) fo.push_back(m);
+    s->last_reader_ = m;
+  }
+}
+
+void Simulator::commit_pending() {
+  for (SignalBase* s : pending_) {
+    s->pending_ = false;
+    ++stats_.commits;
+    if (!s->commit()) continue;
+    ++stats_.commit_changes;
+    if (vcd_) mark_vcd_change(s);
+    for (Module* m : s->fanout_) {
+      if (!m->comb_dirty_) {
+        m->comb_dirty_ = true;
+        worklist_.push_back(m);
+      }
+    }
+  }
+  pending_.clear();
+}
+
+void Simulator::settle_event() {
+  commit_pending();
+  for (int iter = 0; !worklist_.empty(); ++iter) {
+    if (iter >= opt_.delta_limit) throw_comb_loop();
+    ++stats_.deltas;
+    eval_list_.swap(worklist_);
+    for (Module* m : eval_list_) {
+      m->comb_dirty_ = false;
+      eval_traced(m);
+    }
+    eval_list_.clear();
+    commit_pending();
+  }
+}
+
+void Simulator::mark_all_modules_dirty() {
+  for (Module* m : modules_) {
+    if (!m->comb_dirty_) {
+      m->comb_dirty_ = true;
+      worklist_.push_back(m);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Common driver
+// ---------------------------------------------------------------------
+
+void Simulator::settle() {
+  ++stats_.settles;
+  if (opt_.full_sweep) {
+    settle_full_sweep();
+  } else {
+    settle_event();
+  }
 }
 
 void Simulator::reset() {
   cycle_ = 0;
-  for (SignalBase* s : signals_) s->reset_value();
-  for (Module* m : modules_) m->on_reset();
-  commit_all(nullptr);
+  // Clear any scheduler state left by writes since the last settle (or
+  // by a CombLoopError unwind): reset_value() bypasses write(), so stale
+  // pending entries would otherwise commit garbage later.
+  pending_.clear();
+  worklist_.clear();
+  eval_list_.clear();
+  for (SignalBase* s : signals_) {
+    s->pending_ = false;
+    s->reset_value();
+  }
+  for (Module* m : modules_) {
+    m->comb_dirty_ = false;
+    m->on_reset();
+  }
+  if (opt_.full_sweep) {
+    commit_all(nullptr);
+  } else {
+    commit_pending();  // applies signal writes made inside on_reset()
+    mark_all_modules_dirty();
+  }
   settle();
-  if (vcd_) vcd_->sample(cycle_);
+  if (vcd_) {
+    vcd_full_pending_ = true;
+    sample_vcd();
+  }
 }
 
 void Simulator::step(int n) {
   for (int i = 0; i < n; ++i) {
     settle();
     for (Module* m : modules_) m->on_clock();
-    commit_all(nullptr);
+    if (opt_.full_sweep) {
+      commit_all(nullptr);
+    } else {
+      commit_pending();
+      // on_clock() may change internal C++ state that eval_comb() reads,
+      // invisibly to the signal-level fanout graph — re-evaluate every
+      // module once, then iterate event-driven.
+      mark_all_modules_dirty();
+    }
     settle();
     ++cycle_;
-    if (vcd_) vcd_->sample(cycle_);
+    ++stats_.steps;
+    sample_vcd();
   }
 }
 
+// ---------------------------------------------------------------------
+// VCD plumbing
+// ---------------------------------------------------------------------
+
 void Simulator::open_vcd(const std::string& path) {
   vcd_ = std::make_unique<VcdWriter>(path, top_);
+  // Nothing is on the changed list yet: the first sample must scan all.
+  vcd_full_pending_ = true;
+}
+
+void Simulator::mark_vcd_change(SignalBase* s) {
+  if (s->width() <= 0 || s->vcd_mark_) return;
+  s->vcd_mark_ = true;
+  vcd_changed_.push_back(s);
+}
+
+void Simulator::sample_vcd() {
+  if (!vcd_) return;
+  if (opt_.full_sweep || vcd_full_pending_) {
+    vcd_->sample(cycle_);
+    vcd_full_pending_ = false;
+  } else {
+    vcd_->sample_changed(cycle_, vcd_changed_);
+  }
+  for (SignalBase* s : vcd_changed_) s->vcd_mark_ = false;
+  vcd_changed_.clear();
 }
 
 }  // namespace hwpat::rtl

@@ -10,6 +10,26 @@
 // reach a fixpoint within the delta limit raises CombLoopError — that is
 // a bug in the modelled hardware (a combinational feedback loop), not in
 // the simulator.
+//
+// Two scheduling kernels implement those semantics (bit-identically —
+// tests/test_sim_kernel.cpp proves it differentially):
+//
+//  * event-driven (default): write() enqueues signals on a
+//    pending-commit list; settle() drains a dirty-module worklist seeded
+//    from the fanout of committed signals.  Module sensitivity is
+//    discovered dynamically by tracing which signals each eval_comb()
+//    reads (starting with an instrumented elaboration settle and kept
+//    up to date on every evaluation, so data-dependent reads are safe).
+//    After each clock edge every module is re-evaluated once, because
+//    on_clock() may change internal C++ state that eval_comb() depends
+//    on; the fixpoint iteration after that first sweep is event-driven.
+//
+//  * full_sweep (Options::full_sweep): the original reference kernel —
+//    every delta evaluates all modules and commits all signals.  Keep it
+//    for differential testing and for testbenches that mutate module
+//    state behind the kernel's back between settles.
+//
+// See src/rtl/README.md for the design discussion.
 #pragma once
 
 #include <cstdint>
@@ -25,10 +45,32 @@ class VcdWriter;
 
 class Simulator {
  public:
+  struct Options {
+    /// Use the O(modules × signals) reference kernel instead of the
+    /// event-driven one.
+    bool full_sweep = false;
+    /// Maximum delta iterations per settle before CombLoopError.
+    int delta_limit = 256;
+  };
+
+  /// Work counters, cumulative since construction or reset_stats().
+  /// evals/commits are the quantities the event-driven kernel exists to
+  /// shrink; bench/bench_sim_kernel.cpp reports them per step.
+  struct Stats {
+    std::uint64_t steps = 0;    ///< rising clock edges executed
+    std::uint64_t settles = 0;  ///< settle() fixpoint searches
+    std::uint64_t deltas = 0;   ///< delta cycles across all settles
+    std::uint64_t evals = 0;    ///< eval_comb() calls
+    std::uint64_t commits = 0;  ///< SignalBase::commit() calls
+    std::uint64_t commit_changes = 0;  ///< commits that changed the value
+  };
+
   /// Builds a simulator over the design rooted at `top`.  The module
   /// tree must not change shape afterwards (signals/modules are
-  /// discovered once, here).
-  explicit Simulator(Module& top);
+  /// discovered once, here).  At most one simulator may be bound to a
+  /// design at a time; destroy the previous one first.
+  explicit Simulator(Module& top) : Simulator(top, Options()) {}
+  Simulator(Module& top, Options opt);
   ~Simulator();
 
   /// Applies on_reset() everywhere, then settles.  Call before stepping.
@@ -38,19 +80,20 @@ class Simulator {
   void step(int n = 1);
 
   /// Steps until `pred()` is true, at most `max_cycles` edges.  Returns
-  /// the number of edges consumed; throws Error on timeout.
+  /// the number of edges consumed; throws Error on timeout.  The
+  /// predicate is re-checked after the final step, so a condition that
+  /// becomes true exactly at `max_cycles` is a success, not a timeout.
   template <typename Pred>
   std::uint64_t run_until(Pred&& pred, std::uint64_t max_cycles) {
-    std::uint64_t n = 0;
-    while (!pred()) {
+    for (std::uint64_t n = 0;; ++n) {
+      if (pred()) return n;
       if (n >= max_cycles)
         throw Error("run_until: condition not reached within " +
                     std::to_string(max_cycles) + " cycles in design '" +
-                    top_.name() + "'");
+                    top_.name() + "' (at cycle " + std::to_string(cycle_) +
+                    ")");
       step();
-      ++n;
     }
-    return n;
   }
 
   /// Settles combinational logic without a clock edge (for comb-only
@@ -60,6 +103,10 @@ class Simulator {
   /// Rising edges executed since construction/reset.
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
 
+  [[nodiscard]] const Options& options() const { return opt_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
   /// Maximum delta iterations per settle before CombLoopError.
   void set_delta_limit(int limit);
 
@@ -67,14 +114,38 @@ class Simulator {
   void open_vcd(const std::string& path);
 
  private:
+  void bind();
+  void unbind();
   void commit_all(bool* changed);
+  void settle_full_sweep();
+  void settle_event();
+  /// Commits every signal on the pending list; fanout modules of signals
+  /// whose value changed are pushed onto the dirty worklist.
+  void commit_pending();
+  /// Runs one eval_comb() under the read tracer and folds newly observed
+  /// reads into the signals' fanout lists.
+  void eval_traced(Module* m);
+  void mark_all_modules_dirty();
+  void mark_vcd_change(SignalBase* s);
+  void sample_vcd();
+  [[noreturn]] void throw_comb_loop() const;
 
   Module& top_;
+  Options opt_;
   std::vector<Module*> modules_;
   std::vector<SignalBase*> signals_;
   std::uint64_t cycle_ = 0;
-  int delta_limit_ = 256;
+  Stats stats_;
   std::unique_ptr<VcdWriter> vcd_;
+
+  // Event-driven kernel state.
+  std::vector<SignalBase*> pending_;      ///< signals awaiting commit
+  std::vector<Module*> worklist_;         ///< dirty modules, next delta
+  std::vector<Module*> eval_list_;        ///< dirty modules, this delta
+  ReadTracer tracer_;
+  std::uint64_t eval_stamp_ = 0;          ///< unique id per traced eval
+  std::vector<SignalBase*> vcd_changed_;  ///< changed since last sample
+  bool vcd_full_pending_ = false;         ///< next sample must scan all
 };
 
 }  // namespace hwpat::rtl

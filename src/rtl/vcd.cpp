@@ -1,5 +1,7 @@
 #include "rtl/vcd.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace hwpat::rtl {
@@ -20,6 +22,12 @@ void VcdWriter::declare_scope(Module& m) {
     e.id = make_id(entries_.size());
     out_ << "$var wire " << s->width() << " " << e.id << " " << s->name()
          << " $end\n";
+    if (s->id_ >= 0) {
+      if (entry_by_signal_id_.size() <= static_cast<std::size_t>(s->id_))
+        entry_by_signal_id_.resize(static_cast<std::size_t>(s->id_) + 1, -1);
+      entry_by_signal_id_[static_cast<std::size_t>(s->id_)] =
+          static_cast<int>(entries_.size());
+    }
     entries_.push_back(std::move(e));
   }
   for (Module* c : m.children()) declare_scope(*c);
@@ -36,26 +44,47 @@ std::string VcdWriter::make_id(std::size_t n) {
   return id;
 }
 
+void VcdWriter::emit(Entry& e, std::uint64_t cycle, bool* stamped) {
+  const Word v = e.sig->as_word();
+  if (e.ever && v == e.last) return;
+  if (!*stamped) {
+    out_ << "#" << cycle << "\n";
+    *stamped = true;
+  }
+  if (e.sig->width() == 1) {
+    out_ << (v ? '1' : '0') << e.id << "\n";
+  } else {
+    out_ << "b";
+    for (int i = e.sig->width() - 1; i >= 0; --i)
+      out_ << (bit_of(v, i) ? '1' : '0');
+    out_ << " " << e.id << "\n";
+  }
+  e.last = v;
+  e.ever = true;
+}
+
 void VcdWriter::sample(std::uint64_t cycle) {
   bool stamped = false;
-  for (Entry& e : entries_) {
-    const Word v = e.sig->as_word();
-    if (e.ever && v == e.last) continue;
-    if (!stamped) {
-      out_ << "#" << cycle << "\n";
-      stamped = true;
-    }
-    if (e.sig->width() == 1) {
-      out_ << (v ? '1' : '0') << e.id << "\n";
-    } else {
-      out_ << "b";
-      for (int i = e.sig->width() - 1; i >= 0; --i)
-        out_ << (bit_of(v, i) ? '1' : '0');
-      out_ << " " << e.id << "\n";
-    }
-    e.last = v;
-    e.ever = true;
+  for (Entry& e : entries_) emit(e, cycle, &stamped);
+}
+
+void VcdWriter::sample_changed(std::uint64_t cycle,
+                               const std::vector<SignalBase*>& changed) {
+  // Emit in declaration order so the output is byte-identical to the
+  // full-scan path (the differential kernel test relies on this).
+  scratch_.clear();
+  for (SignalBase* s : changed) {
+    const int sid = s->id_;
+    if (sid < 0 ||
+        static_cast<std::size_t>(sid) >= entry_by_signal_id_.size())
+      continue;
+    const int idx = entry_by_signal_id_[static_cast<std::size_t>(sid)];
+    if (idx >= 0) scratch_.push_back(idx);
   }
+  std::sort(scratch_.begin(), scratch_.end());
+  bool stamped = false;
+  for (const int idx : scratch_)
+    emit(entries_[static_cast<std::size_t>(idx)], cycle, &stamped);
 }
 
 }  // namespace hwpat::rtl

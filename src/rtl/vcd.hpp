@@ -3,6 +3,13 @@
 // The simulator calls sample() once per clock edge; only signals whose
 // value changed since the last sample are written.  Testbench signals
 // (width 0) are skipped.
+//
+// Two sampling paths produce byte-identical output:
+//  * sample() scans every declared signal (reference path; also used
+//    for the first sample after open/reset, which must dump everything);
+//  * sample_changed() visits only the signals the event-driven kernel
+//    observed changing since the last sample, found in O(1) through
+//    their dense Simulator-assigned ids.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +26,14 @@ class VcdWriter {
   /// Opens `path` and writes the header for the design under `top`.
   VcdWriter(const std::string& path, Module& top);
 
-  /// Records the state at time `cycle` (one VCD time unit per cycle).
+  /// Records the state at time `cycle` (one VCD time unit per cycle),
+  /// scanning every declared signal.
   void sample(std::uint64_t cycle);
+
+  /// Like sample(), but only inspects `changed` (each entry at most
+  /// once).  Signals not declared in the header are ignored.
+  void sample_changed(std::uint64_t cycle,
+                      const std::vector<SignalBase*>& changed);
 
  private:
   struct Entry {
@@ -31,10 +44,13 @@ class VcdWriter {
   };
 
   void declare_scope(Module& m);
+  void emit(Entry& e, std::uint64_t cycle, bool* stamped);
   static std::string make_id(std::size_t n);
 
   std::ofstream out_;
   std::vector<Entry> entries_;
+  std::vector<int> entry_by_signal_id_;  ///< dense signal id -> entry, -1 none
+  std::vector<int> scratch_;             ///< reused by sample_changed()
 };
 
 }  // namespace hwpat::rtl
