@@ -1,0 +1,300 @@
+// Deterministic CI perf-regression gate over the simulation kernel's
+// work counters.
+//
+// Wall-clock benchmarks are useless as CI gates on shared runners; the
+// `Simulator::Stats` counters (eval_comb() calls and signal commits per
+// run) are bit-deterministic for a fixed design and cycle count, so a
+// regression in scheduler quality is an exact integer comparison — the
+// counter-based self-checking style mainstream HDL simulator test rigs
+// use.
+//
+// Usage:
+//   bench_stats_gate --check [bench/baselines.json]   (CI gate)
+//   bench_stats_gate --write [bench/baselines.json]   (refresh baselines)
+//   bench_stats_gate --print                          (show counters)
+//
+// --check fails (exit 1) when any scenario's cycle count differs from
+// the baseline, or when evals/commits exceed the baseline by more than
+// the slack (2%, absorbing innocuous scheduling-order churn).  Doing
+// strictly *better* passes with a note — refresh the baselines in the
+// same PR to lock the win in.
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "designs/design.hpp"
+#include "designs/saa2vga_shared.hpp"
+#include "rtl/simulator.hpp"
+
+namespace {
+
+using namespace hwpat;
+
+constexpr double kSlack = 0.02;  // tolerated counter growth vs baseline
+constexpr std::uint64_t kMaxCycles = 2'000'000;
+
+struct Counters {
+  std::uint64_t cycles = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t seq_skips = 0;
+};
+
+struct Scenario {
+  std::string name;
+  std::unique_ptr<designs::VideoDesign> (*make)();
+};
+
+// Small, fixed configurations: a full frame pipeline run each, covering
+// every shipped design variant (and with it every device model).
+const Scenario kScenarios[] = {
+    {"saa2vga_pattern_fifo",
+     [] {
+       return designs::make_saa2vga_pattern(
+           {.width = 24, .height = 18, .buffer_depth = 64, .frames = 2});
+     }},
+    {"saa2vga_pattern_sram",
+     [] {
+       return designs::make_saa2vga_pattern(
+           {.width = 24, .height = 18, .buffer_depth = 64,
+            .device = devices::DeviceKind::Sram, .frames = 2});
+     }},
+    {"saa2vga_custom_fifo",
+     [] {
+       return designs::make_saa2vga_custom(
+           {.width = 24, .height = 18, .buffer_depth = 64, .frames = 2});
+     }},
+    {"saa2vga_custom_sram",
+     [] {
+       return designs::make_saa2vga_custom(
+           {.width = 24, .height = 18, .buffer_depth = 64,
+            .device = devices::DeviceKind::Sram, .frames = 2});
+     }},
+    {"saa2vga_shared_sram",
+     [] {
+       return designs::make_saa2vga_shared(
+           {.width = 16, .height = 12, .buffer_depth = 64, .frames = 2});
+     }},
+    {"blur_pattern",
+     [] {
+       return designs::make_blur_pattern(
+           {.width = 24, .height = 18, .frames = 2});
+     }},
+    {"blur_custom",
+     [] {
+       return designs::make_blur_custom(
+           {.width = 24, .height = 18, .frames = 2});
+     }},
+};
+
+Counters run_scenario(const Scenario& s) {
+  auto d = s.make();
+  rtl::Simulator sim(*d);
+  sim.reset();
+  sim.run_until([&] { return d->finished(); }, kMaxCycles);
+  return Counters{sim.cycle(), sim.stats().evals, sim.stats().commits,
+                  sim.stats().seq_skips};
+}
+
+// --------------------------------------------------------------- JSON
+
+void write_baselines(const std::map<std::string, Counters>& all,
+                     const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n";
+  bool first = true;
+  for (const auto& [name, c] : all) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  \"" << name << "\": {\"cycles\": " << c.cycles
+        << ", \"evals\": " << c.evals << ", \"commits\": " << c.commits
+        << ", \"seq_skips\": " << c.seq_skips << "}";
+  }
+  out << "\n}\n";
+}
+
+/// Minimal parser for exactly the flat shape write_baselines() emits:
+/// { "name": {"key": int, ...}, ... }.  Anything else is a format error.
+std::map<std::string, Counters> read_baselines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good())
+    throw Error("bench_stats_gate: cannot open baseline file '" + path +
+                "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  std::map<std::string, Counters> all;
+  std::size_t pos = 0;
+  auto next_string = [&](std::size_t from, std::string* out) {
+    const std::size_t a = text.find('"', from);
+    if (a == std::string::npos) return std::string::npos;
+    const std::size_t b = text.find('"', a + 1);
+    if (b == std::string::npos) return std::string::npos;
+    *out = text.substr(a + 1, b - a - 1);
+    return b + 1;
+  };
+  auto next_uint = [&](std::size_t from, std::uint64_t* out) {
+    std::size_t i = from;
+    while (i < text.size() &&
+           !std::isdigit(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i >= text.size())
+      throw Error("bench_stats_gate: malformed baseline file");
+    *out = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i])))
+      *out = *out * 10 + static_cast<std::uint64_t>(text[i++] - '0');
+    return i;
+  };
+
+  std::string name;
+  while ((pos = next_string(pos, &name)) != std::string::npos) {
+    const std::size_t open = text.find('{', pos);
+    const std::size_t close = text.find('}', pos);
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+      throw Error("bench_stats_gate: malformed baseline entry '" + name +
+                  "'");
+    Counters c;
+    std::size_t p = open;
+    std::string key;
+    while ((p = next_string(p, &key)) != std::string::npos && p < close) {
+      std::uint64_t v = 0;
+      p = next_uint(p, &v);
+      if (key == "cycles") c.cycles = v;
+      else if (key == "evals") c.evals = v;
+      else if (key == "commits") c.commits = v;
+      else if (key == "seq_skips") c.seq_skips = v;
+      else
+        throw Error("bench_stats_gate: unknown baseline key '" + key +
+                    "'");
+    }
+    all[name] = c;
+    pos = close + 1;
+  }
+  if (all.empty())
+    throw Error("bench_stats_gate: no baselines found in '" + path + "'");
+  return all;
+}
+
+// --------------------------------------------------------------- modes
+
+std::map<std::string, Counters> run_all() {
+  std::map<std::string, Counters> all;
+  for (const Scenario& s : kScenarios) all[s.name] = run_scenario(s);
+  return all;
+}
+
+void print_counters(const std::map<std::string, Counters>& all) {
+  for (const auto& [name, c] : all) {
+    std::cout << name << ": cycles=" << c.cycles << " evals=" << c.evals
+              << " (" << static_cast<double>(c.evals) /
+                             static_cast<double>(c.cycles)
+              << "/step) commits=" << c.commits << " ("
+              << static_cast<double>(c.commits) /
+                     static_cast<double>(c.cycles)
+              << "/step) seq_skips=" << c.seq_skips << "\n";
+  }
+}
+
+/// One counter against its baseline; returns false on regression.
+bool check_counter(const std::string& scenario, const std::string& what,
+                   std::uint64_t now, std::uint64_t base) {
+  const auto limit = static_cast<std::uint64_t>(
+      static_cast<double>(base) * (1.0 + kSlack));
+  if (now > limit) {
+    std::cout << "FAIL " << scenario << ": " << what << " regressed "
+              << base << " -> " << now << " (limit " << limit << ")\n";
+    return false;
+  }
+  if (now < base)
+    std::cout << "note " << scenario << ": " << what << " improved "
+              << base << " -> " << now
+              << " — refresh bench/baselines.json to lock it in\n";
+  return true;
+}
+
+int check(const std::string& path) {
+  const auto base = read_baselines(path);
+  const auto now = run_all();
+  bool ok = true;
+  for (const auto& [name, c] : now) {
+    const auto it = base.find(name);
+    if (it == base.end()) {
+      std::cout << "FAIL " << name
+                << ": no baseline (run --write and commit)\n";
+      ok = false;
+      continue;
+    }
+    // Cycle counts are functional, not perf: any drift is a behaviour
+    // change the differential tests should have caught — hard-fail.
+    if (c.cycles != it->second.cycles) {
+      std::cout << "FAIL " << name << ": cycle count changed "
+                << it->second.cycles << " -> " << c.cycles << "\n";
+      ok = false;
+      continue;
+    }
+    ok &= check_counter(name, "evals", c.evals, it->second.evals);
+    ok &= check_counter(name, "commits", c.commits, it->second.commits);
+    // seq_skips gates the declared-state protocol staying engaged: a
+    // module regressing to opaque (or a lost declaration) shows up as
+    // fewer post-edge skips even when evals stay inside their slack.
+    const auto min_skips = static_cast<std::uint64_t>(
+        static_cast<double>(it->second.seq_skips) * (1.0 - kSlack));
+    if (c.seq_skips < min_skips) {
+      std::cout << "FAIL " << name << ": seq_skips dropped "
+                << it->second.seq_skips << " -> " << c.seq_skips
+                << " (min " << min_skips
+                << ") — declared-state skipping partially disengaged\n";
+      ok = false;
+    } else if (c.seq_skips > it->second.seq_skips) {
+      std::cout << "note " << name << ": seq_skips improved "
+                << it->second.seq_skips << " -> " << c.seq_skips
+                << " — refresh bench/baselines.json to lock it in\n";
+    }
+  }
+  for (const auto& [name, c] : base) {
+    (void)c;
+    if (now.find(name) == now.end()) {
+      std::cout << "FAIL stale baseline '" << name
+                << "': scenario no longer exists (run --write)\n";
+      ok = false;
+    }
+  }
+  std::cout << (ok ? "bench_stats_gate: all counters within baseline\n"
+                   : "bench_stats_gate: PERF REGRESSION detected\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "--print";
+  const std::string path = argc > 2 ? argv[2] : "bench/baselines.json";
+  try {
+    if (mode == "--check") return check(path);
+    if (mode == "--write") {
+      const auto all = run_all();
+      write_baselines(all, path);
+      print_counters(all);
+      std::cout << "wrote " << path << "\n";
+      return 0;
+    }
+    if (mode == "--print") {
+      print_counters(run_all());
+      return 0;
+    }
+    std::cerr << "usage: bench_stats_gate [--check|--write|--print] "
+                 "[baselines.json]\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_stats_gate: " << e.what() << "\n";
+    return 1;
+  }
+}

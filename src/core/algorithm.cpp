@@ -12,12 +12,15 @@ void Algorithm::on_reset() {
   transfers_ = 0;
 }
 
+void Algorithm::declare_state() { register_seq(ctl_.done); }
+
 bool Algorithm::clock_control() {
   ctl_.done.write(false);
   const bool was_running = running_;
   if (!running_ && ctl_.start.read()) {
     running_ = true;
     transfers_ = 0;
+    seq_touch();  // busy and the transfer strobes depend on running_
   }
   // Return the *pre-edge* state: the combinational strobes this cycle
   // were produced from it, so work may only be counted when it is set.
@@ -29,6 +32,7 @@ void Algorithm::count_transfer(std::uint64_t total) {
   if (total != 0 && transfers_ >= total) {
     running_ = false;
     ctl_.done.write(true);
+    seq_touch();
   }
 }
 
@@ -178,13 +182,16 @@ void ReduceFsm::eval_comb() {
 }
 
 void ReduceFsm::on_clock() {
+  const Word pre = acc_;  // eval-visible through result_
   if (!clock_control()) {
     if (running()) acc_ = cfg_.op.identity;  // run starts this edge
+    if (acc_ != pre) seq_touch();
     return;
   }
   if (transfer_now()) {
     acc_ = truncate(cfg_.op(acc_, in_.rdata.read()), result_.width());
     count_transfer(cfg_.count);
+    if (acc_ != pre) seq_touch();
   }
 }
 

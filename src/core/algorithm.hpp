@@ -40,6 +40,10 @@ class Algorithm : public rtl::Module {
 
   void eval_comb() override;
   void on_reset() override;
+  /// Registers the done pulse; run-flag flips are reported via
+  /// seq_touch() inside clock_control()/count_transfer().  Subclasses
+  /// with extra eval-visible state extend this (and must call it).
+  void declare_state() override;
 
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] std::uint64_t transfers() const { return transfers_; }

@@ -59,6 +59,16 @@ void AssocArrayContainer::eval_comb() {
   p_.full.write(occupancy_ >= cfg_.capacity);
 }
 
+void AssocArrayContainer::declare_state() {
+  register_seq(w_->a_en);
+  register_seq(w_->a_we);
+  register_seq(w_->a_addr);
+  register_seq(w_->a_wdata);
+  register_seq(p_.rdata);
+  register_seq(p_.found);
+  register_seq(p_.done);
+}
+
 void AssocArrayContainer::issue_read(Word slot) {
   w_->a_en.write(true);
   w_->a_we.write(false);
@@ -66,6 +76,9 @@ void AssocArrayContainer::issue_read(Word slot) {
 }
 
 void AssocArrayContainer::on_clock() {
+  // eval_comb() reads state_ (ready) and occupancy_ (full) only.
+  const State pre_state = state_;
+  const int pre_occ = occupancy_;
   // Default: quiet BRAM port and one-cycle done pulse management.
   w_->a_en.write(false);
   w_->a_we.write(false);
@@ -190,6 +203,7 @@ void AssocArrayContainer::on_clock() {
       state_ = State::Idle;
       break;
   }
+  if (state_ != pre_state || occupancy_ != pre_occ) seq_touch();
 }
 
 void AssocArrayContainer::on_reset() {

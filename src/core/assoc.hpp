@@ -38,6 +38,7 @@ class AssocArrayContainer : public Container {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const Config& config() const { return cfg_; }

@@ -66,7 +66,9 @@ void BlurFsm::eval_comb() {
 void BlurFsm::on_clock() {
   if (!clock_control()) return;
   if (!consume_now()) return;
-  // Shift the window and advance the raster bookkeeping.
+  // Shift the window and advance the raster bookkeeping.  win_ and x_
+  // are eval-visible (the kernel operand and the interior-window test).
+  seq_touch();
   win_[0] = win_[1];
   win_[1] = truncate(in_.rdata.read(), 3 * cfg_.pixel_bits);
   if (++x_ == cfg_.width) {

@@ -143,7 +143,11 @@ void VectorRandomIterator::on_clock() {
     if (np >= static_cast<Word>(length_) && spec().strict)
       throw ProtocolError("iterator '" + full_name() + "': index " +
                           std::to_string(np) + " out of range");
-    pos_ = np % static_cast<Word>(length_);
+    const Word next = np % static_cast<Word>(length_);
+    if (next != pos_) {
+      pos_ = next;
+      seq_touch();
+    }
   }
 }
 
@@ -196,8 +200,10 @@ void VectorSeqIterator::on_clock() {
     throw ProtocolError("iterator '" + full_name() +
                         "': access while container busy");
   const auto len = static_cast<Word>(cfg_.length);
+  const Word pre = pos_;
   if (p_.inc.read()) pos_ = (pos_ + 1) % len;
   if (p_.dec.read()) pos_ = (pos_ + len - 1) % len;
+  if (pos_ != pre) seq_touch();
 }
 
 void VectorSeqIterator::on_reset() { pos_ = cfg_.start_pos; }

@@ -62,6 +62,9 @@ class StreamInputIterator : public Iterator {
 
   void eval_comb() override;
   void on_clock() override;
+  // on_clock() only validates the strobe protocol (it may throw, never
+  // writes): a dissolving wrapper with no sequential state at all.
+  void declare_state() override { declare_seq_state(); }
 
  private:
   [[nodiscard]] const Bit& advance_strobe() const;
@@ -80,6 +83,8 @@ class StreamOutputIterator : public Iterator {
 
   void eval_comb() override;
   void on_clock() override;
+  // Protocol checks only in on_clock(): no sequential state.
+  void declare_state() override { declare_seq_state(); }
 
  private:
   StreamProducer pr_;
@@ -97,6 +102,9 @@ class VectorRandomIterator : public Iterator {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  // The position register is internal state read by eval_comb();
+  // on_clock() reports its changes via seq_touch().
+  void declare_state() override { declare_seq_state(); }
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] Word position() const { return pos_; }
@@ -125,6 +133,8 @@ class VectorSeqIterator : public Iterator {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  // Position register changes are reported via seq_touch().
+  void declare_state() override { declare_seq_state(); }
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] Word position() const { return pos_; }

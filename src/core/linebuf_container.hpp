@@ -31,6 +31,8 @@ class LineBufferContainer : public Container {
                       StreamImpl p, const Bit& sof);
 
   void eval_comb() override;
+  // Pure combinational wrapper: no on_clock(), nothing to register.
+  void declare_state() override { declare_seq_state(); }
   void report(rtl::PrimitiveTally&) const override {}  // pure wrapper
 
   [[nodiscard]] const Config& config() const { return cfg_; }

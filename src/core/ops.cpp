@@ -59,7 +59,13 @@ std::vector<Op> OpSet::to_vector() const {
 std::string OpSet::str() const {
   std::vector<std::string> names;
   for (Op op : to_vector()) names.push_back(to_string(op));
-  return "{" + join(names, ", ") + "}";
+  // Built with append rather than an operator+ chain: GCC 12's inliner
+  // flags the rvalue "{" + join(...) concatenation with a spurious
+  // -Wrestrict (PR105651), which -Werror would turn fatal.
+  std::string out = "{";
+  out += join(names, ", ");
+  out += "}";
+  return out;
 }
 
 std::optional<Traversal> sequential_traversal(ContainerKind k,

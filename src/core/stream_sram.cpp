@@ -1,5 +1,7 @@
 #include "core/stream_sram.hpp"
 
+#include <tuple>
+
 namespace hwpat::core {
 
 SramStreamContainer::SramStreamContainer(Module* parent, std::string name,
@@ -45,7 +47,19 @@ void SramStreamContainer::eval_comb() {
   p_.front.write(front_);
 }
 
+void SramStreamContainer::declare_state() {
+  register_seq(mem_.req);
+  register_seq(mem_.we);
+  register_seq(mem_.addr);
+  register_seq(mem_.wdata);
+}
+
 void SramStreamContainer::on_clock() {
+  // Snapshot of the architectural state eval_comb() reads, so the
+  // seq_touch() decision at the end is exact (head_/tail_/wreg_ are
+  // read only by on_clock() itself).
+  const auto pre =
+      std::make_tuple(state_, count_, front_, front_valid_, wpend_);
   // 1. Progress the memory FSM on the pre-edge ack.
   switch (state_) {
     case State::Idle:
@@ -125,6 +139,9 @@ void SramStreamContainer::on_clock() {
       state_ = State::Fetch;
     }
   }
+
+  if (pre != std::make_tuple(state_, count_, front_, front_valid_, wpend_))
+    seq_touch();
 }
 
 void SramStreamContainer::on_reset() {

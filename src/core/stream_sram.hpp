@@ -42,6 +42,7 @@ class SramStreamContainer : public Container {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const Config& config() const { return cfg_; }

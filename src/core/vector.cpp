@@ -91,7 +91,18 @@ void VectorContainer::eval_comb() {
   }
 }
 
+void VectorContainer::declare_state() {
+  register_seq(p_.rvalid);
+  if (has_mem_) {
+    register_seq(*mem_req_);
+    register_seq(*mem_we_);
+    register_seq(*mem_addr_);
+    register_seq(*mem_wdata_);
+  }
+}
+
 void VectorContainer::on_clock() {
+  const State pre = state_;  // the only internal state eval_comb() reads
   const bool rd = p_.read.read();
   const bool wr = p_.write.read();
   switch (state_) {
@@ -133,6 +144,7 @@ void VectorContainer::on_clock() {
       }
       break;
   }
+  if (state_ != pre) seq_touch();
 }
 
 void VectorContainer::on_reset() { state_ = State::Idle; }

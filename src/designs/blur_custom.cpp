@@ -66,6 +66,7 @@ void BlurCustom::eval_comb() {
 
 void BlurCustom::on_clock() {
   if (!consume_now()) return;
+  seq_touch();  // win_ and x_ are both eval-visible
   win_[0] = win_[1];
   win_[1] = lb_col_.read();
   if (++x_ == cfg_.width) x_ = 0;

@@ -20,6 +20,8 @@ class BlurCustom : public VideoDesign {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  // on_clock() writes no signals; win_/x_ changes are seq_touch()ed.
+  void declare_state() override { declare_seq_state(); }
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const video::VgaSink& sink() const override {

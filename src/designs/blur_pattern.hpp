@@ -21,6 +21,8 @@ class BlurPattern : public VideoDesign {
   explicit BlurPattern(const BlurConfig& cfg);
 
   void eval_comb() override;
+  // Pure combinational top (drives the constant start strobe only).
+  void declare_state() override { declare_seq_state(); }
 
   [[nodiscard]] const video::VgaSink& sink() const override {
     return vga_;

@@ -193,7 +193,22 @@ void Saa2VgaCustomSram::step_mem(MemCtl& m, rtl::Bit& req, rtl::Bit& we,
   }
 }
 
+void Saa2VgaCustomSram::declare_state() {
+  register_seq(a_req_);
+  register_seq(a_we_);
+  register_seq(a_addr_);
+  register_seq(a_wdata_);
+  register_seq(b_req_);
+  register_seq(b_we_);
+  register_seq(b_addr_);
+  register_seq(b_wdata_);
+}
+
 void Saa2VgaCustomSram::on_clock() {
+  // Snapshot the controller state eval_comb() reads, for the exact
+  // seq_touch() decision at the end of the edge.
+  const auto pre_in = in_ctl_.eval_key();
+  const auto pre_out = out_ctl_.eval_key();
   // Client strobes first (they were produced against pre-edge state).
   if (src_push_.read() && in_ctl_.can_accept(cfg_.buffer_depth)) {
     in_ctl_.wlatch = src_data_.read();
@@ -216,6 +231,9 @@ void Saa2VgaCustomSram::on_clock() {
   // Both memory controllers progress in parallel (separate SRAMs).
   step_mem(in_ctl_, a_req_, a_we_, a_addr_, a_wdata_, a_ack_, a_rdata_);
   step_mem(out_ctl_, b_req_, b_we_, b_addr_, b_wdata_, b_ack_, b_rdata_);
+
+  if (pre_in != in_ctl_.eval_key() || pre_out != out_ctl_.eval_key())
+    seq_touch();
 }
 
 void Saa2VgaCustomSram::on_reset() {

@@ -14,6 +14,8 @@
 // only rebinds a spec — the coupling problem the paper opens with.
 #pragma once
 
+#include <tuple>
+
 #include "designs/design.hpp"
 #include "devices/fifo.hpp"
 #include "devices/sram.hpp"
@@ -27,6 +29,8 @@ class Saa2VgaCustomFifo : public VideoDesign {
   explicit Saa2VgaCustomFifo(const Saa2VgaConfig& cfg);
 
   void eval_comb() override;
+  // Pure combinational forwarder: no on_clock().
+  void declare_state() override { declare_seq_state(); }
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const video::VgaSink& sink() const override {
@@ -66,6 +70,7 @@ class Saa2VgaCustomSram : public VideoDesign {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const video::VgaSink& sink() const override {
@@ -94,6 +99,10 @@ class Saa2VgaCustomSram : public VideoDesign {
     void reset();
     [[nodiscard]] bool can_accept(int capacity) const;
     [[nodiscard]] bool can_consume() const;
+    /// The fields eval_comb() observes (sequential-state declaration).
+    [[nodiscard]] auto eval_key() const {
+      return std::make_tuple(state, count, wpend, front, front_valid);
+    }
   };
 
   void step_mem(MemCtl& m, rtl::Bit& req, rtl::Bit& we, rtl::Bus& addr,

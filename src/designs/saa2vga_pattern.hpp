@@ -22,6 +22,8 @@ class Saa2VgaPattern : public VideoDesign {
   explicit Saa2VgaPattern(const Saa2VgaConfig& cfg);
 
   void eval_comb() override;
+  // Pure combinational top (drives the constant start strobe only).
+  void declare_state() override { declare_seq_state(); }
 
   [[nodiscard]] const video::VgaSink& sink() const override {
     return vga_;

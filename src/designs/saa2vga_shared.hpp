@@ -27,6 +27,8 @@ class Saa2VgaPatternShared : public VideoDesign {
                                     devices::ArbPolicy::RoundRobin);
 
   void eval_comb() override;
+  // Pure combinational top (drives the constant start strobe only).
+  void declare_state() override { declare_seq_state(); }
 
   [[nodiscard]] const video::VgaSink& sink() const override {
     return vga_;

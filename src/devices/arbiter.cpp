@@ -53,6 +53,12 @@ void SramArbiter::eval_comb() {
   }
 }
 
+void SramArbiter::declare_state() {
+  // on_clock() writes no signals; eval_comb() reads grant_ (rr_next_
+  // and grant_counts_ only feed future on_clock() decisions).
+  declare_seq_state();
+}
+
 void SramArbiter::on_clock() {
   if (grant_ >= 0) {
     // Release after the slave acknowledged, or if the master withdrew.
@@ -61,6 +67,7 @@ void SramArbiter::on_clock() {
       if (policy_ == ArbPolicy::RoundRobin)
         rr_next_ = (grant_ + 1) % num_masters();
       grant_ = -1;
+      seq_touch();
     }
     return;
   }
@@ -68,6 +75,7 @@ void SramArbiter::on_clock() {
   if (next >= 0) {
     grant_ = next;
     ++grant_counts_[static_cast<std::size_t>(next)];
+    seq_touch();
   }
 }
 

@@ -52,6 +52,7 @@ class SramArbiter : public rtl::Module {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] int num_masters() const {

@@ -18,6 +18,14 @@ void BlockRam::preload(std::size_t offset, const std::vector<Word>& data) {
     mem_[offset + i] = truncate(data[i], cfg_.data_width);
 }
 
+void BlockRam::declare_state() {
+  // The read-data registers are the only on_clock() writes; mem_ is
+  // read by on_clock() alone (there is no eval_comb()), so its
+  // mutations need no seq_touch().
+  register_seq(p_.a_rdata);
+  register_seq(p_.b_rdata);
+}
+
 void BlockRam::on_clock() {
   if (p_.a_en.read()) {
     const auto a =

@@ -38,6 +38,7 @@ class BlockRam : public rtl::Module {
   BlockRam(Module* parent, std::string name, BramConfig cfg, BramPorts p);
 
   void on_clock() override;
+  void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const BramConfig& config() const { return cfg_; }

@@ -12,6 +12,12 @@ FifoCore::FifoCore(Module* parent, std::string name, FifoConfig cfg,
   HWPAT_ASSERT(cfg_.depth >= 1);
 }
 
+void FifoCore::declare_state() {
+  // on_clock() writes no signals; all effects are head_/count_/mem_
+  // mutations, reported via seq_touch() below.
+  declare_seq_state();
+}
+
 void FifoCore::eval_comb() {
   p_.empty.write(count_ == 0);
   p_.full.write(count_ == cfg_.depth);
@@ -30,6 +36,7 @@ void FifoCore::on_clock() {
     } else {
       head_ = (head_ + 1) % cfg_.depth;
       --count_;
+      seq_touch();
     }
   }
   if (do_wr) {
@@ -40,6 +47,7 @@ void FifoCore::on_clock() {
       const int tail = (head_ + count_) % cfg_.depth;
       mem_[static_cast<std::size_t>(tail)] = p_.wr_data.read();
       ++count_;
+      seq_touch();
     }
   }
 }

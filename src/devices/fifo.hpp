@@ -47,6 +47,7 @@ class FifoCore : public rtl::Module {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const FifoConfig& config() const { return cfg_; }

@@ -12,6 +12,11 @@ LifoCore::LifoCore(Module* parent, std::string name, LifoConfig cfg,
   HWPAT_ASSERT(cfg_.depth >= 1);
 }
 
+void LifoCore::declare_state() {
+  // All on_clock() effects are count_/mem_ mutations (seq_touch below).
+  declare_seq_state();
+}
+
 void LifoCore::eval_comb() {
   p_.empty.write(count_ == 0);
   p_.full.write(count_ == cfg_.depth);
@@ -34,6 +39,7 @@ void LifoCore::on_clock() {
     } else {
       mem_[static_cast<std::size_t>(count_ - 1)] = p_.wr_data.read();
     }
+    seq_touch();  // the show-ahead top element changed either way
     return;
   }
   if (do_rd) {
@@ -42,6 +48,7 @@ void LifoCore::on_clock() {
         throw ProtocolError("LIFO '" + full_name() + "': pop while empty");
     } else {
       --count_;
+      seq_touch();
     }
   } else if (do_wr) {
     if (count_ == cfg_.depth) {
@@ -50,6 +57,7 @@ void LifoCore::on_clock() {
     } else {
       mem_[static_cast<std::size_t>(count_)] = p_.wr_data.read();
       ++count_;
+      seq_touch();
     }
   }
 }

@@ -41,6 +41,7 @@ class LifoCore : public rtl::Module {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const LifoConfig& config() const { return cfg_; }

@@ -15,6 +15,13 @@ LineBuffer3::LineBuffer3(Module* parent, std::string name,
   HWPAT_ASSERT(cfg_.col_fifo_depth >= 1);
 }
 
+void LineBuffer3::declare_state() {
+  // eval_comb() reads only the column FIFO (colq_*); the line memories
+  // and write-side raster counters feed future on_clock() calls, so a
+  // linebuffer between column bursts is sequential-idle.
+  declare_seq_state();
+}
+
 void LineBuffer3::eval_comb() {
   p_.col_valid.write(colq_count_ > 0);
   p_.wr_ready.write(colq_count_ < cfg_.col_fifo_depth);
@@ -32,6 +39,7 @@ void LineBuffer3::push_column(Word col) {
   const int tail = (colq_head_ + colq_count_) % cfg_.col_fifo_depth;
   colq_[static_cast<std::size_t>(tail)] = col;
   ++colq_count_;
+  seq_touch();
 }
 
 void LineBuffer3::on_clock() {
@@ -43,6 +51,7 @@ void LineBuffer3::on_clock() {
     } else {
       colq_head_ = (colq_head_ + 1) % cfg_.col_fifo_depth;
       --colq_count_;
+      seq_touch();
     }
   }
   if (p_.wr_en.read()) {

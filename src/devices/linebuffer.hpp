@@ -54,6 +54,7 @@ class LineBuffer3 : public rtl::Module {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const LineBuffer3Config& config() const { return cfg_; }

@@ -20,6 +20,13 @@ void ExternalSram::preload(std::size_t offset,
     mem_[offset + i] = truncate(data[i], cfg_.data_width);
 }
 
+void ExternalSram::declare_state() {
+  // ack/rdata are the registered outputs; state_/countdown_/mem_ are
+  // read only by on_clock() itself (no eval_comb()), so no seq_touch().
+  register_seq(p_.ack);
+  register_seq(p_.rdata);
+}
+
 void ExternalSram::do_op() {
   const auto a = static_cast<std::size_t>(p_.addr.read());
   if (a >= mem_.size()) {

@@ -48,6 +48,7 @@ class ExternalSram : public rtl::Module {
 
   void on_clock() override;
   void on_reset() override;
+  void declare_state() override;
   // Off-chip: contributes nothing to the FPGA resource tally.
   void report(rtl::PrimitiveTally&) const override {}
 

@@ -48,6 +48,7 @@ void WidthAdaptInputIterator::on_clock() {
     asm_reg_ = 0;
     asm_valid_ = false;
     lane_ = 0;
+    seq_touch();
     return;  // gathering restarts next cycle (pop was low this cycle)
   }
   if (!asm_valid_ && c_.can_pop.read()) {
@@ -56,6 +57,7 @@ void WidthAdaptInputIterator::on_clock() {
       asm_valid_ = true;
       lane_ = 0;
     }
+    seq_touch();
   }
 }
 
@@ -115,11 +117,13 @@ void WidthAdaptOutputIterator::on_clock() {
     }
     shift_reg_ = truncate(p_.wdata.read(), cfg_.elem_bits);
     pending_ = lanes_;
+    seq_touch();
     return;  // lanes start draining next cycle
   }
   if (pending_ > 0 && pr_.can_push.read()) {
     shift_reg_ >>= cfg_.bus_bits;
     --pending_;
+    seq_touch();
   }
 }
 

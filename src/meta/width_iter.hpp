@@ -32,6 +32,8 @@ class WidthAdaptInputIterator : public core::Iterator {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  // Assembly register/valid changes are reported via seq_touch().
+  void declare_state() override { declare_seq_state(); }
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] int lanes() const { return lanes_; }
@@ -61,6 +63,8 @@ class WidthAdaptOutputIterator : public core::Iterator {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  // Shift-register/pending changes are reported via seq_touch().
+  void declare_state() override { declare_seq_state(); }
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] int lanes() const { return lanes_; }

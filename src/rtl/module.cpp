@@ -4,8 +4,9 @@
 
 namespace hwpat::rtl {
 
-SignalBase::SignalBase(Module& owner, std::string name, int width)
-    : owner_(owner), name_(std::move(name)), width_(width) {
+SignalBase::SignalBase(Module& owner, std::string name, int width,
+                       SigKind kind)
+    : owner_(owner), name_(std::move(name)), width_(width), kind_(kind) {
   HWPAT_ASSERT(width >= 0);
   owner.add_signal(this);
 }
@@ -28,6 +29,13 @@ Module::~Module() {
 std::string Module::full_name() const {
   if (parent_ == nullptr) return name_;
   return parent_->full_name() + "." + name_;
+}
+
+void Module::register_seq(SignalBase& s) {
+  seq_declared_ = true;
+  if (std::find(seq_signals_.begin(), seq_signals_.end(), &s) ==
+      seq_signals_.end())
+    seq_signals_.push_back(&s);
 }
 
 void Module::remove_signal(const SignalBase* s) {

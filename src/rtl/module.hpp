@@ -49,9 +49,37 @@ class Module {
   virtual void on_clock() {}
   /// Reset registers to their initial values.  Default: none.
   virtual void on_reset() {}
+  /// Sequential-state declaration hook, called once when a Simulator
+  /// binds the design.  A module opts into post-edge skipping by
+  /// declaring its sequential-state contract here:
+  ///
+  ///   * register_seq(sig) for every signal its on_clock() may write
+  ///     (the "register" signals); change propagation for those runs
+  ///     through the normal commit/fanout machinery, and
+  ///   * seq_touch() from on_clock() whenever it mutates *internal C++
+  ///     state* that eval_comb() reads (a FIFO occupancy counter, an
+  ///     FSM state, a cached front element, ...), and
+  ///   * declare_seq_state() when there is nothing to register (a pure
+  ///     combinational wrapper, or a module whose on_clock() effects
+  ///     are covered by seq_touch() alone).
+  ///
+  /// A declared module is re-evaluated after a clock edge only when a
+  /// signal it reads changed or it called seq_touch() on that edge.
+  /// The default declares nothing: the module stays `opaque_state` and
+  /// is conservatively re-evaluated after every edge, which is always
+  /// sound.  See src/rtl/README.md.
+  virtual void declare_state() {}
   /// Reports this module's *own* synthesis primitives (children are
   /// visited separately).  Default: nothing — a pure wrapper.
   virtual void report(PrimitiveTally&) const {}
+
+  /// True when this module made no sequential-state declaration (the
+  /// conservative fallback).  Meaningful while bound to a Simulator.
+  [[nodiscard]] bool opaque_state() const { return !seq_declared_; }
+  /// Register signals declared via register_seq(); empty while unbound.
+  [[nodiscard]] const std::vector<SignalBase*>& seq_signals() const {
+    return seq_signals_;
+  }
 
   /// Pre-order walk over this module and all descendants.
   template <typename F>
@@ -63,6 +91,24 @@ class Module {
   void visit(F&& f) const {
     f(static_cast<const Module&>(*this));
     for (const Module* c : children_) c->visit(f);
+  }
+
+ protected:
+  /// Marks this module's sequential state as declared without
+  /// registering any signal (see declare_state()).
+  void declare_seq_state() { seq_declared_ = true; }
+  /// Declares `s` as a register signal this module's on_clock() may
+  /// write, and marks the state as declared.  Call from declare_state().
+  void register_seq(SignalBase& s);
+  /// Reports from on_clock() that internal C++ state readable by
+  /// eval_comb() changed on this edge, so the simulator re-evaluates
+  /// this module after the edge.  At most one enqueue per edge; a no-op
+  /// while unbound or under the full-sweep kernel.
+  void seq_touch() {
+    if (seq_queue_ != nullptr && !seq_touched_) {
+      seq_touched_ = true;
+      seq_queue_->push_back(this);
+    }
   }
 
  private:
@@ -80,6 +126,10 @@ class Module {
   // --- state owned by the binding Simulator (see simulator.cpp) ---
   int sim_id_ = -1;          ///< dense id in elaboration order, -1 = unbound
   bool comb_dirty_ = false;  ///< on the simulator's dirty-module worklist
+  bool seq_declared_ = false;  ///< declare_state() made a declaration
+  bool seq_touched_ = false;   ///< on the simulator's touched list
+  std::vector<SignalBase*> seq_signals_;  ///< declared register signals
+  std::vector<Module*>* seq_queue_ = nullptr;  ///< touched-module list
 };
 
 }  // namespace hwpat::rtl

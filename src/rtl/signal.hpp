@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -25,6 +26,12 @@ namespace hwpat::rtl {
 
 class Module;
 class SignalBase;
+
+/// Storage type tag of a signal, set once at construction.  The two
+/// dominant concrete types (Signal<Word> via Bus, Signal<bool> via Bit)
+/// get devirtualized fast paths in the commit hot loop; everything else
+/// (testbench Signal<Frame>, ...) falls back to the virtual call.
+enum class SigKind : unsigned char { kWord, kBool, kOther };
 
 /// Records which signals a combinational process reads while it runs.
 /// The simulator points SignalBase::tracer_ at one of these around each
@@ -53,7 +60,8 @@ class ReadTracer {
 /// the module tree.
 class SignalBase {
  public:
-  SignalBase(Module& owner, std::string name, int width);
+  SignalBase(Module& owner, std::string name, int width,
+             SigKind kind = SigKind::kOther);
   virtual ~SignalBase();
 
   SignalBase(const SignalBase&) = delete;
@@ -77,9 +85,17 @@ class SignalBase {
     return fanout_;
   }
 
+  /// Storage type tag (devirtualized commit dispatch — see commit_fast).
+  [[nodiscard]] SigKind kind() const { return kind_; }
+
   /// Copies next into current.  Returns true when the visible value
   /// changed (used by the delta-cycle settling loop).
   virtual bool commit() = 0;
+  /// Non-virtual commit dispatcher: inlines the Word/bool fast paths
+  /// (the two signal types that dominate every shipped design) and
+  /// falls back to the virtual commit() for everything else.  Defined
+  /// after Signal<T> below.
+  bool commit_fast();
   /// Restores the construction-time value on both phases (global reset).
   virtual void reset_value() = 0;
   /// Current value as a word, for VCD dumping (width <= 64 only).
@@ -109,6 +125,7 @@ class SignalBase {
   Module& owner_;
   std::string name_;
   int width_;
+  SigKind kind_;
 
   // --- state owned by the binding Simulator (see simulator.cpp) ---
   int id_ = -1;                            ///< dense id, -1 = unbound
@@ -147,8 +164,13 @@ class TraceGuard {
 template <typename T>
 class Signal : public SignalBase {
  public:
+  static constexpr SigKind kKind = std::is_same_v<T, Word> ? SigKind::kWord
+                                   : std::is_same_v<T, bool>
+                                       ? SigKind::kBool
+                                       : SigKind::kOther;
+
   Signal(Module& owner, std::string name, int width, T init = T{})
-      : SignalBase(owner, std::move(name), width),
+      : SignalBase(owner, std::move(name), width, kKind),
         cur_(init),
         nxt_(init),
         init_(init) {}
@@ -169,11 +191,18 @@ class Signal : public SignalBase {
   /// Restores the construction-time value on both phases (reset).
   void reset_value() override { cur_ = nxt_ = init_; }
 
-  bool commit() override {
+  /// Non-virtual body of commit(), callable directly when the concrete
+  /// type is known statically (the commit_fast() dispatch).
+  bool commit_inline() {
     if (nxt_ == cur_) return false;
     cur_ = nxt_;
     return true;
   }
+
+  // final: commit_fast() statically dispatches Word/bool signals to
+  // commit_inline(), so a subclass override here would be silently
+  // bypassed — the compiler now rejects the attempt instead.
+  bool commit() final { return commit_inline(); }
 
   [[nodiscard]] Word as_word() const override {
     if constexpr (std::is_convertible_v<T, Word>) {
@@ -207,5 +236,20 @@ class Bus : public Signal<Word> {
 
   void write(Word v) { Signal<Word>::write(truncate(v, width())); }
 };
+
+inline bool SignalBase::commit_fast() {
+  // The static_casts are sound because kind_ is derived from T at
+  // construction: kWord signals *are* Signal<Word> (possibly via Bus),
+  // kBool signals are Signal<bool> (possibly via Bit).
+  switch (kind_) {
+    case SigKind::kWord:
+      return static_cast<Signal<Word>*>(this)->commit_inline();
+    case SigKind::kBool:
+      return static_cast<Signal<bool>*>(this)->commit_inline();
+    case SigKind::kOther:
+      break;
+  }
+  return commit();
+}
 
 }  // namespace hwpat::rtl

@@ -23,6 +23,13 @@ void Simulator::bind() {
     HWPAT_ASSERT(m->sim_id_ < 0 && "design already bound to a simulator");
     m->sim_id_ = static_cast<int>(i);
     m->comb_dirty_ = false;
+    m->seq_declared_ = false;
+    m->seq_touched_ = false;
+    m->seq_signals_.clear();
+    m->seq_queue_ = opt_.full_sweep ? nullptr : &touched_;
+    m->declare_state();
+    if (!opt_.full_sweep && m->opaque_state())
+      opaque_modules_.push_back(m);
   }
   for (std::size_t i = 0; i < signals_.size(); ++i) {
     SignalBase* s = signals_[i];
@@ -49,6 +56,10 @@ void Simulator::unbind() {
   for (Module* m : modules_) {
     m->sim_id_ = -1;
     m->comb_dirty_ = false;
+    m->seq_declared_ = false;
+    m->seq_touched_ = false;
+    m->seq_signals_.clear();
+    m->seq_queue_ = nullptr;
   }
   for (SignalBase* s : signals_) {
     s->id_ = -1;
@@ -81,7 +92,7 @@ void Simulator::commit_all(bool* changed) {
   bool any = false;
   for (SignalBase* s : signals_) {
     ++stats_.commits;
-    if (s->commit()) {
+    if (s->commit_fast()) {
       ++stats_.commit_changes;
       any = true;
       // No mark_vcd_change(): full-sweep sampling always scans all.
@@ -132,15 +143,10 @@ void Simulator::commit_pending() {
   for (SignalBase* s : pending_) {
     s->pending_ = false;
     ++stats_.commits;
-    if (!s->commit()) continue;
+    if (!s->commit_fast()) continue;
     ++stats_.commit_changes;
     if (vcd_) mark_vcd_change(s);
-    for (Module* m : s->fanout_) {
-      if (!m->comb_dirty_) {
-        m->comb_dirty_ = true;
-        worklist_.push_back(m);
-      }
-    }
+    for (Module* m : s->fanout_) mark_module_dirty(m);
   }
   pending_.clear();
 }
@@ -161,12 +167,48 @@ void Simulator::settle_event() {
 }
 
 void Simulator::mark_all_modules_dirty() {
-  for (Module* m : modules_) {
-    if (!m->comb_dirty_) {
-      m->comb_dirty_ = true;
-      worklist_.push_back(m);
-    }
+  for (Module* m : modules_) mark_module_dirty(m);
+}
+
+void Simulator::check_seq_writes(const Module* m, std::size_t first) const {
+  // Best-effort (see Options::check_seq_contract): only signals newly
+  // enqueued during m's on_clock() are attributable to m.
+  if (m->opaque_state()) return;  // undeclared modules may write anything
+  for (std::size_t i = first; i < pending_.size(); ++i) {
+    SignalBase* s = pending_[i];
+    const auto& seq = m->seq_signals_;
+    if (std::find(seq.begin(), seq.end(), s) == seq.end())
+      throw ProtocolError(
+          "module '" + m->full_name() + "': on_clock() wrote signal '" +
+          s->full_name() +
+          "' which is not in its register_seq() declaration — the "
+          "sequential-state contract is incomplete (or the write belongs "
+          "in eval_comb())");
   }
+}
+
+void Simulator::clock_edge_event() {
+  if (opt_.check_seq_contract) {
+    for (Module* m : modules_) {
+      const std::size_t before = pending_.size();
+      m->on_clock();
+      check_seq_writes(m, before);
+    }
+  } else {
+    for (Module* m : modules_) m->on_clock();
+  }
+  // Commits of changed register signals dirty their fanout modules.
+  commit_pending();
+  // Modules that reported internal-state changes re-evaluate once...
+  stats_.seq_touches += touched_.size();
+  for (Module* m : touched_) {
+    m->seq_touched_ = false;
+    mark_module_dirty(m);
+  }
+  touched_.clear();
+  // ...and undeclared modules conservatively re-evaluate every edge.
+  for (Module* m : opaque_modules_) mark_module_dirty(m);
+  stats_.seq_skips += modules_.size() - worklist_.size();
 }
 
 // ---------------------------------------------------------------------
@@ -190,12 +232,14 @@ void Simulator::reset() {
   pending_.clear();
   worklist_.clear();
   eval_list_.clear();
+  touched_.clear();
   for (SignalBase* s : signals_) {
     s->pending_ = false;
     s->reset_value();
   }
   for (Module* m : modules_) {
     m->comb_dirty_ = false;
+    m->seq_touched_ = false;
     m->on_reset();
   }
   if (opt_.full_sweep) {
@@ -214,15 +258,11 @@ void Simulator::reset() {
 void Simulator::step(int n) {
   for (int i = 0; i < n; ++i) {
     settle();
-    for (Module* m : modules_) m->on_clock();
     if (opt_.full_sweep) {
+      for (Module* m : modules_) m->on_clock();
       commit_all(nullptr);
     } else {
-      commit_pending();
-      // on_clock() may change internal C++ state that eval_comb() reads,
-      // invisibly to the signal-level fanout graph — re-evaluate every
-      // module once, then iterate event-driven.
-      mark_all_modules_dirty();
+      clock_edge_event();
     }
     settle();
     ++cycle_;

@@ -20,9 +20,13 @@
 //    discovered dynamically by tracing which signals each eval_comb()
 //    reads (starting with an instrumented elaboration settle and kept
 //    up to date on every evaluation, so data-dependent reads are safe).
-//    After each clock edge every module is re-evaluated once, because
-//    on_clock() may change internal C++ state that eval_comb() depends
-//    on; the fixpoint iteration after that first sweep is event-driven.
+//    After a clock edge, modules that declared their sequential state
+//    (Module::declare_state(): register_seq() signals + seq_touch()
+//    reports) are re-evaluated only when a register signal they read
+//    changed or they reported an internal-state change; modules without
+//    a declaration (`opaque_state`) are conservatively re-evaluated
+//    after every edge, because their on_clock() may change internal C++
+//    state invisibly to the signal graph.
 //
 //  * full_sweep (Options::full_sweep): the original reference kernel —
 //    every delta evaluates all modules and commits all signals.  Keep it
@@ -51,6 +55,16 @@ class Simulator {
     bool full_sweep = false;
     /// Maximum delta iterations per settle before CombLoopError.
     int delta_limit = 256;
+    /// Verify the declared sequential-state contract on every clock
+    /// edge (event kernel only): a declared module whose on_clock()
+    /// writes a signal outside its register_seq() set raises
+    /// ProtocolError.  Cheap (scans only newly pending signals), so on
+    /// by default.  Best-effort: a write to a signal that is already
+    /// pending from an earlier writer on the same edge (or one that
+    /// leaves the value unchanged) is attributed to the first writer
+    /// only — those cases, and the invisible-internal-state half of
+    /// the contract, are covered by the differential tests instead.
+    bool check_seq_contract = true;
   };
 
   /// Work counters, cumulative since construction or reset_stats().
@@ -61,8 +75,14 @@ class Simulator {
     std::uint64_t settles = 0;  ///< settle() fixpoint searches
     std::uint64_t deltas = 0;   ///< delta cycles across all settles
     std::uint64_t evals = 0;    ///< eval_comb() calls
-    std::uint64_t commits = 0;  ///< SignalBase::commit() calls
+    std::uint64_t commits = 0;  ///< signal commits (fast or virtual)
     std::uint64_t commit_changes = 0;  ///< commits that changed the value
+    std::uint64_t seq_touches = 0;  ///< seq_touch() reports across edges
+    /// Modules NOT re-evaluated immediately after a clock edge thanks to
+    /// the declared sequential-state protocol (the quantity this PR's
+    /// tentpole exists to create; full-sweep and opaque designs keep
+    /// it at 0).
+    std::uint64_t seq_skips = 0;
   };
 
   /// Builds a simulator over the design rooted at `top`.  The module
@@ -126,6 +146,19 @@ class Simulator {
   /// reads into the signals' fanout lists.
   void eval_traced(Module* m);
   void mark_all_modules_dirty();
+  void mark_module_dirty(Module* m) {
+    if (!m->comb_dirty_) {
+      m->comb_dirty_ = true;
+      worklist_.push_back(m);
+    }
+  }
+  /// Runs every on_clock() and schedules the post-edge re-evaluation
+  /// set: fanout of changed register signals (via commit_pending()),
+  /// seq_touch() reporters, and every opaque_state module.
+  void clock_edge_event();
+  /// Verifies that a declared module's on_clock() only wrote registered
+  /// signals (entries pending_[first..]); throws ProtocolError if not.
+  void check_seq_writes(const Module* m, std::size_t first) const;
   void mark_vcd_change(SignalBase* s);
   void sample_vcd();
   [[noreturn]] void throw_comb_loop() const;
@@ -142,6 +175,8 @@ class Simulator {
   std::vector<SignalBase*> pending_;      ///< signals awaiting commit
   std::vector<Module*> worklist_;         ///< dirty modules, next delta
   std::vector<Module*> eval_list_;        ///< dirty modules, this delta
+  std::vector<Module*> touched_;          ///< seq_touch() reporters, this edge
+  std::vector<Module*> opaque_modules_;   ///< undeclared: re-eval every edge
   ReadTracer tracer_;
   std::uint64_t eval_stamp_ = 0;          ///< unique id per traced eval
   std::vector<SignalBase*> vcd_changed_;  ///< changed since last sample

@@ -37,15 +37,24 @@ void VideoSource::eval_comb() {
   }
 }
 
+void VideoSource::declare_state() {
+  // on_clock() writes no signals; wait_/pix_idx_/frame_idx_ drive
+  // eval_comb() (sent_ is statistics only) and are reported below.
+  declare_seq_state();
+}
+
 void VideoSource::on_clock() {
   if (wait_ > 0) {
-    --wait_;
+    // eval_comb() only tests wait_ == 0 (pixel_due), so mid-countdown
+    // decrements are not eval-visible — touch on the final one only.
+    if (--wait_ == 0) seq_touch();
     return;
   }
-  if (done() || frame_idx_ >= frames_.size()) return;
+  if (done() || frame_idx_ >= frames_.size()) return;  // past the window
   if (cfg_.respect_backpressure && !out_.can_push.read()) return;
   // The pixel was pushed this edge.
   ++sent_;
+  seq_touch();
   const Frame& f = frames_[frame_idx_];
   if (++pix_idx_ >= f.pixel_count()) {
     pix_idx_ = 0;
@@ -89,9 +98,16 @@ void VgaSink::eval_comb() {
   in_.pop.write(wait_ == 0 && in_.can_pop.read());
 }
 
+void VgaSink::declare_state() {
+  // eval_comb() reads wait_ only; the frame reassembly state (pix_idx_,
+  // current_, frames_, streaming_) never feeds back into the design.
+  declare_seq_state();
+}
+
 void VgaSink::on_clock() {
   if (wait_ > 0) {
-    --wait_;
+    // eval_comb() only tests wait_ == 0 — touch on the final decrement.
+    if (--wait_ == 0) seq_touch();
     return;
   }
   if (!in_.can_pop.read()) {
@@ -109,6 +125,7 @@ void VgaSink::on_clock() {
     pix_idx_ = 0;
   }
   wait_ = cfg_.pixel_interval - 1;
+  if (wait_ != 0) seq_touch();  // wait_ was 0 on entry to this path
 }
 
 void VgaSink::on_reset() {

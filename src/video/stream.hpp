@@ -46,6 +46,7 @@ class VideoSource : public Module {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] bool done() const {
@@ -82,6 +83,7 @@ class VgaSink : public Module {
   void eval_comb() override;
   void on_clock() override;
   void on_reset() override;
+  void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const std::vector<Frame>& frames() const { return frames_; }

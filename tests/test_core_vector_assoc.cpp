@@ -242,7 +242,9 @@ TEST(Assoc, RandomisedAgainstModel) {
         const bool found = tb.lookup(sim, k, &v);
         const auto mv = ref.lookup(k);
         EXPECT_EQ(found, mv.has_value()) << "op " << i;
-        if (found && mv) EXPECT_EQ(v, *mv) << "op " << i;
+        if (found && mv) {
+          EXPECT_EQ(v, *mv) << "op " << i;
+        }
         break;
       }
       case 2:

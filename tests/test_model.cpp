@@ -47,7 +47,7 @@ TEST(ModelVector, ReadWriteAndBounds) {
   EXPECT_EQ(v.read(0), 9);
   v.write(2, 42);
   EXPECT_EQ(v.read(2), 42);
-  EXPECT_THROW(v.read(4), ProtocolError);
+  EXPECT_THROW((void)v.read(4), ProtocolError);
   EXPECT_THROW(v.write(5, 0), ProtocolError);
 }
 
@@ -156,8 +156,11 @@ TEST(ModelLabel, DiagonalPixelsAreSeparateUnder4Connectivity) {
   EXPECT_EQ(n, 5u);
   // All labels distinct.
   std::set<Word> seen;
-  for (Word v : l)
-    if (v != 0) EXPECT_TRUE(seen.insert(v).second);
+  for (Word v : l) {
+    if (v != 0) {
+      EXPECT_TRUE(seen.insert(v).second);
+    }
+  }
 }
 
 TEST(ModelLabel, UShapeMergesThroughEquivalence) {
@@ -204,7 +207,7 @@ TEST(ModelLabel, RandomImagesComponentCountMatchesFloodFill) {
     for (auto& p : img) p = rng() % 3 == 0 ? 1 : 0;
 
     std::size_t n_label = 0;
-    label4(img, w, h, &n_label);
+    (void)label4(img, w, h, &n_label);
 
     // Independent flood fill.
     std::vector<bool> vis(img.size(), false);
@@ -246,9 +249,12 @@ TEST(ModelLabel, LabelsArePartitionedByConnectivity) {
     for (int x = 0; x < w; ++x) {
       const auto i = static_cast<std::size_t>(y * w + x);
       if (img[i] == 0) continue;
-      if (x + 1 < w && img[i + 1] != 0) EXPECT_EQ(l[i], l[i + 1]);
-      if (y + 1 < h && img[i + static_cast<std::size_t>(w)] != 0)
+      if (x + 1 < w && img[i + 1] != 0) {
+        EXPECT_EQ(l[i], l[i + 1]);
+      }
+      if (y + 1 < h && img[i + static_cast<std::size_t>(w)] != 0) {
         EXPECT_EQ(l[i], l[i + static_cast<std::size_t>(w)]);
+      }
     }
   }
 }

@@ -154,10 +154,12 @@ TEST_P(IteratorCodegenSweep, PortsMirrorTheOperationSet) {
         << core::to_string(op) << " on " << core::to_string(c.kind);
   }
   // Invariant: data width follows the element type and the role.
-  if (ops.contains(core::Op::Read))
+  if (ops.contains(core::Op::Read)) {
     EXPECT_EQ(unit.entity.find_port("data")->type.width(), 8);
-  if (ops.contains(core::Op::Write))
+  }
+  if (ops.contains(core::Op::Write)) {
     EXPECT_EQ(unit.entity.find_port("data_in")->type.width(), 8);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -258,7 +260,7 @@ TEST(FailureInjection, BlurNeverStartedStaysQuiet) {
           ctl(*this, "ctl"),
           blur(this, "blur",
                {.width = c.width, .height = c.height, .pixel_bits = 8,
-                .frames = c.frames},
+                .frames = static_cast<std::uint64_t>(c.frames)},
                in_iw.client(), out_iw.client(), ctl.control()) {}
   };
   Quiet tb(cfg);

@@ -12,6 +12,12 @@
 
 #include "designs/design.hpp"
 #include "designs/saa2vga_shared.hpp"
+#include "devices/arbiter.hpp"
+#include "devices/bram.hpp"
+#include "devices/fifo.hpp"
+#include "devices/lifo.hpp"
+#include "devices/linebuffer.hpp"
+#include "devices/sram.hpp"
 #include "rtl/simulator.hpp"
 
 namespace hwpat {
@@ -225,6 +231,424 @@ TEST(SimKernelDiff, SequentialSimulatorsRebindCleanly) {
   sim2.reset();
   sim2.step(2);
   EXPECT_EQ(top.value.read(), 2u);
+}
+
+// ------------------------------------------------------------------
+// Declared sequential state: per-device parity
+//
+// Each device is driven standalone by a deterministic scripted
+// testbench (the TB itself stays opaque_state, so the conservative and
+// declared paths coexist in one design).  The event-driven run must
+// produce a byte-identical VCD to full_sweep, do strictly less work,
+// and actually exercise the post-edge skip (seq_skips > 0).
+// ------------------------------------------------------------------
+
+template <typename TB>
+void expect_device_parity(const std::string& label, int cycles) {
+  struct Out {
+    std::string vcd;
+    Simulator::Stats stats;
+  };
+  auto run = [&](bool full_sweep) {
+    TB tb;
+    Simulator sim(tb, {.full_sweep = full_sweep});
+    const std::string path =
+        label + (full_sweep ? "_ref.vcd" : "_evt.vcd");
+    sim.open_vcd(path);
+    sim.reset();
+    sim.step(cycles);
+    return Out{slurp_and_remove(path), sim.stats()};
+  };
+  const Out evt = run(false);
+  const Out ref = run(true);
+  EXPECT_EQ(evt.vcd, ref.vcd) << label << ": VCD traces differ";
+  EXPECT_LT(evt.stats.evals, ref.stats.evals) << label;
+  EXPECT_LT(evt.stats.commits, ref.stats.commits) << label;
+  EXPECT_GT(evt.stats.seq_skips, 0u)
+      << label << ": declared-state skipping never engaged";
+  EXPECT_EQ(ref.stats.seq_skips, 0u) << label << ": full_sweep must not skip";
+}
+
+using devices::ArbMasterPorts;
+using devices::ArbSlavePorts;
+using rtl::Bit;
+using rtl::Bus;
+using rtl::Module;
+
+/// FIFO driven through fill, drain, simultaneous read+write and long
+/// idle windows.  The script is a pure function of the edge counter.
+struct FifoParityTb : Module {
+  Bit wr_en{*this, "wr_en"}, rd_en{*this, "rd_en"};
+  Bit empty{*this, "empty"}, full{*this, "full"};
+  Bus wr_data{*this, "wr_data", 8}, rd_data{*this, "rd_data", 8};
+  Bus level{*this, "level", 16};
+  devices::FifoCore fifo;
+  int t_ = 0;
+
+  FifoParityTb()
+      : Module(nullptr, "tb"),
+        fifo(this, "fifo", {.width = 8, .depth = 8},
+             devices::FifoPorts{wr_en, wr_data, rd_en, rd_data, empty,
+                                full, level}) {}
+
+  void eval_comb() override {
+    const bool push = (t_ >= 4 && t_ < 9) || (t_ >= 30 && t_ < 34);
+    const bool pop = (t_ >= 20 && t_ < 23) || (t_ >= 30 && t_ < 34);
+    wr_en.write(push);
+    rd_en.write(pop);
+    wr_data.write(static_cast<Word>(0x40 + t_));
+  }
+  void on_clock() override { ++t_; }
+  void on_reset() override { t_ = 0; }
+};
+
+TEST(SeqStateParity, FifoStandalone) {
+  expect_device_parity<FifoParityTb>("seq_fifo", 60);
+}
+
+/// LIFO through push, pop, replace-top (pop+push) and idle windows.
+struct LifoParityTb : Module {
+  Bit wr_en{*this, "wr_en"}, rd_en{*this, "rd_en"};
+  Bit empty{*this, "empty"}, full{*this, "full"};
+  Bus wr_data{*this, "wr_data", 8}, rd_data{*this, "rd_data", 8};
+  Bus level{*this, "level", 16};
+  devices::LifoCore lifo;
+  int t_ = 0;
+
+  LifoParityTb()
+      : Module(nullptr, "tb"),
+        lifo(this, "lifo", {.width = 8, .depth = 8},
+             devices::LifoPorts{wr_en, wr_data, rd_en, rd_data, empty,
+                                full, level}) {}
+
+  void eval_comb() override {
+    const bool push =
+        (t_ >= 3 && t_ < 7) || t_ == 20 || (t_ >= 40 && t_ < 42);
+    const bool pop = t_ == 20 || (t_ >= 25 && t_ < 29);  // 20: replace-top
+    wr_en.write(push);
+    rd_en.write(pop);
+    wr_data.write(static_cast<Word>(0x70 + t_));
+  }
+  void on_clock() override { ++t_; }
+  void on_reset() override { t_ = 0; }
+};
+
+TEST(SeqStateParity, LifoStandalone) {
+  expect_device_parity<LifoParityTb>("seq_lifo", 60);
+}
+
+/// Dual-port block RAM: port A writes then reads back, port B shadows,
+/// long idle tail.
+struct BramParityTb : Module {
+  Bit a_en{*this, "a_en"}, a_we{*this, "a_we"}, b_en{*this, "b_en"};
+  Bus a_addr{*this, "a_addr", 4}, a_wdata{*this, "a_wdata", 8};
+  Bus a_rdata{*this, "a_rdata", 8};
+  Bus b_addr{*this, "b_addr", 4}, b_rdata{*this, "b_rdata", 8};
+  devices::BlockRam ram;
+  int t_ = 0;
+
+  BramParityTb()
+      : Module(nullptr, "tb"),
+        ram(this, "ram", {.data_width = 8, .depth = 16},
+            devices::BramPorts{a_en, a_we, a_addr, a_wdata, a_rdata,
+                               b_en, b_addr, b_rdata}) {}
+
+  void eval_comb() override {
+    const bool wr = t_ >= 2 && t_ < 10;   // write 8 cells
+    const bool rd = t_ >= 14 && t_ < 22;  // read them back
+    a_en.write(wr || rd);
+    a_we.write(wr);
+    a_addr.write(static_cast<Word>(t_ % 8));
+    a_wdata.write(static_cast<Word>(0x90 + t_));
+    b_en.write(rd);
+    b_addr.write(static_cast<Word>((t_ + 1) % 8));
+  }
+  void on_clock() override { ++t_; }
+  void on_reset() override { t_ = 0; }
+};
+
+TEST(SeqStateParity, BramStandalone) {
+  expect_device_parity<BramParityTb>("seq_bram", 40);
+}
+
+/// External SRAM behind its req/ack handshake: four writes then four
+/// reads, each held until acknowledged, with gaps and an idle tail.
+struct SramParityTb : Module {
+  Bit req{*this, "req"}, we{*this, "we"}, ack{*this, "ack"};
+  Bus addr{*this, "addr", 8}, wdata{*this, "wdata", 8};
+  Bus rdata{*this, "rdata", 8};
+  devices::ExternalSram sram;
+  int idx_ = 0;     // completed operations
+  bool active_ = false;
+  int gap_ = 0;     // idle cycles before the next request
+
+  SramParityTb()
+      : Module(nullptr, "tb"),
+        sram(this, "sram", {.data_width = 8, .addr_width = 8, .latency = 2},
+             devices::SramPorts{req, we, addr, wdata, ack, rdata}) {}
+
+  void eval_comb() override {
+    req.write(active_);
+    we.write(idx_ < 4);  // ops 0..3 write, 4..7 read back
+    addr.write(static_cast<Word>(idx_ % 4));
+    wdata.write(static_cast<Word>(0x20 + idx_));
+  }
+  void on_clock() override {
+    if (active_) {
+      if (ack.read()) {
+        active_ = false;
+        ++idx_;
+        gap_ = 2;
+      }
+    } else if (gap_ > 0) {
+      --gap_;
+    } else if (idx_ < 8) {
+      active_ = true;
+    }
+  }
+  void on_reset() override {
+    idx_ = 0;
+    active_ = false;
+    gap_ = 1;
+  }
+};
+
+TEST(SeqStateParity, SramStandalone) {
+  expect_device_parity<SramParityTb>("seq_sram", 80);
+}
+
+/// Two scripted masters contending for one SRAM through the arbiter
+/// (round-robin), then both going quiet.
+struct ArbiterParityTb : Module {
+  // Master wires (m0, m1) and the slave side toward the SRAM.
+  Bit m0_req{*this, "m0_req"}, m0_we{*this, "m0_we"}, m0_ack{*this, "m0_ack"};
+  Bus m0_addr{*this, "m0_addr", 8}, m0_wdata{*this, "m0_wdata", 8};
+  Bus m0_rdata{*this, "m0_rdata", 8};
+  Bit m1_req{*this, "m1_req"}, m1_we{*this, "m1_we"}, m1_ack{*this, "m1_ack"};
+  Bus m1_addr{*this, "m1_addr", 8}, m1_wdata{*this, "m1_wdata", 8};
+  Bus m1_rdata{*this, "m1_rdata", 8};
+  Bit s_req{*this, "s_req"}, s_we{*this, "s_we"}, s_ack{*this, "s_ack"};
+  Bus s_addr{*this, "s_addr", 8}, s_wdata{*this, "s_wdata", 8};
+  Bus s_rdata{*this, "s_rdata", 8};
+  devices::SramArbiter arb;
+  devices::ExternalSram sram;
+  int done0_ = 0, done1_ = 0;  // completed ops per master
+
+  ArbiterParityTb()
+      : Module(nullptr, "tb"),
+        arb(this, "arb", devices::ArbPolicy::RoundRobin,
+            {ArbMasterPorts{&m0_req, &m0_we, &m0_addr, &m0_wdata, &m0_ack,
+                            &m0_rdata},
+             ArbMasterPorts{&m1_req, &m1_we, &m1_addr, &m1_wdata, &m1_ack,
+                            &m1_rdata}},
+            ArbSlavePorts{&s_req, &s_we, &s_addr, &s_wdata, &s_ack,
+                          &s_rdata}),
+        sram(this, "sram", {.data_width = 8, .addr_width = 8},
+             devices::SramPorts{s_req, s_we, s_addr, s_wdata, s_ack,
+                                s_rdata}) {}
+
+  void eval_comb() override {
+    // Each master holds req while it still has operations; the arbiter
+    // serialises them one op per grant.
+    m0_req.write(done0_ < 5);
+    m0_we.write(true);
+    m0_addr.write(static_cast<Word>(done0_));
+    m0_wdata.write(static_cast<Word>(0x10 + done0_));
+    m1_req.write(done1_ < 5);
+    m1_we.write(done1_ < 3);  // last two ops read back
+    m1_addr.write(static_cast<Word>(0x40 + (done1_ % 3)));
+    m1_wdata.write(static_cast<Word>(0x50 + done1_));
+  }
+  void on_clock() override {
+    if (m0_ack.read()) ++done0_;
+    if (m1_ack.read()) ++done1_;
+  }
+  void on_reset() override { done0_ = done1_ = 0; }
+};
+
+TEST(SeqStateParity, ArbiterSharedSram) {
+  expect_device_parity<ArbiterParityTb>("seq_arbiter", 80);
+}
+
+/// 3-line buffer fed a raster (with start-of-frame), columns popped as
+/// they appear, then the write side stops (idle between bursts).
+struct LineBufferParityTb : Module {
+  Bit wr_en{*this, "wr_en"}, sof{*this, "sof"}, wr_ready{*this, "wr_ready"};
+  Bit rd_en{*this, "rd_en"}, col_valid{*this, "col_valid"};
+  Bus wr_data{*this, "wr_data", 8}, col_data{*this, "col_data", 24};
+  devices::LineBuffer3 lb;
+  static constexpr int kW = 6, kRows = 5;
+  int t_ = 0;
+
+  LineBufferParityTb()
+      : Module(nullptr, "tb"),
+        lb(this, "lb",
+           {.pixel_width = 8, .line_width = kW, .col_fifo_depth = 4},
+           devices::LineBuffer3Ports{wr_en, wr_data, sof, wr_ready, rd_en,
+                                     col_data, col_valid}) {}
+
+  void eval_comb() override {
+    const bool feeding = t_ < kW * kRows;
+    wr_en.write(feeding);
+    sof.write(t_ == 0);
+    wr_data.write(static_cast<Word>((7 * t_ + 3) & 0xFF));
+    rd_en.write(col_valid.read());  // consume columns as they appear
+  }
+  void on_clock() override { ++t_; }
+  void on_reset() override { t_ = 0; }
+};
+
+TEST(SeqStateParity, LineBufferStandalone) {
+  expect_device_parity<LineBufferParityTb>("seq_linebuffer", 60);
+}
+
+// ------------------------------------------------------------------
+// Sequential-state protocol semantics
+// ------------------------------------------------------------------
+
+/// Hidden internal state, NOT declared: eval_comb() mirrors a counter
+/// on_clock() mutates behind the signal graph's back.
+struct OpaqueHiddenState : Module {
+  Bus mirror{*this, "mirror", 16};
+  int hidden_ = 0;
+
+  OpaqueHiddenState() : Module(nullptr, "opaque") {}
+  void eval_comb() override {
+    mirror.write(static_cast<Word>(hidden_));
+  }
+  void on_clock() override { hidden_ += 3; }
+  void on_reset() override { hidden_ = 0; }
+};
+
+TEST(SeqStateProtocol, OpaqueModuleStaysConservative) {
+  OpaqueHiddenState top;
+  Simulator sim(top);
+  sim.reset();
+  sim.step(5);
+  // The conservative fallback re-evaluates the module after every edge,
+  // so the hidden mutation is always observed...
+  EXPECT_EQ(top.mirror.read(), 15u);
+  // ...and no post-edge skip may ever happen in an all-opaque design.
+  EXPECT_EQ(sim.stats().seq_skips, 0u);
+}
+
+/// The same hidden state, but *declared* and reported via seq_touch().
+struct DeclaredHiddenState : Module {
+  Bus mirror{*this, "mirror", 16};
+  int hidden_ = 0;
+  int active_edges_ = 6;  // mutate on the first 6 edges, then idle
+
+  DeclaredHiddenState() : Module(nullptr, "declared") {}
+  void eval_comb() override {
+    mirror.write(static_cast<Word>(hidden_));
+  }
+  void on_clock() override {
+    if (active_edges_ > 0) {
+      --active_edges_;
+      hidden_ += 3;
+      seq_touch();
+    }
+  }
+  void on_reset() override {
+    hidden_ = 0;
+    active_edges_ = 6;
+  }
+  void declare_state() override { declare_seq_state(); }
+};
+
+TEST(SeqStateProtocol, DeclaredModuleSkipsWhenSequentiallyIdle) {
+  DeclaredHiddenState top;
+  Simulator sim(top);
+  sim.reset();
+  sim.step(6);
+  EXPECT_EQ(top.mirror.read(), 18u);
+  const auto active = sim.stats();
+  sim.step(10);  // sequential-idle: on_clock() runs but touches nothing
+  EXPECT_EQ(top.mirror.read(), 18u);
+  EXPECT_EQ(sim.stats().evals, active.evals)
+      << "idle edges must not re-evaluate a declared module";
+  EXPECT_EQ(sim.stats().seq_skips, active.seq_skips + 10);
+  EXPECT_EQ(sim.stats().seq_touches, 6u);
+}
+
+/// A declared register signal: on_clock() writes only through it, so no
+/// seq_touch() is needed and the fanout machinery carries the change.
+struct DeclaredCounter : Counter {
+  DeclaredCounter(Module* parent, std::string name, int width, Word max)
+      : Counter(parent, std::move(name), width, max) {}
+  void declare_state() override { register_seq(value); }
+};
+
+TEST(SeqStateProtocol, RegisteredSignalPropagatesThroughFanout) {
+  for (const bool full_sweep : {false, true}) {
+    DeclaredCounter top(nullptr, "cnt", 8, 4);
+    Simulator sim(top, {.full_sweep = full_sweep});
+    sim.reset();
+    for (int i = 1; i <= 4; ++i) {
+      sim.step();
+      EXPECT_EQ(top.value.read(), static_cast<Word>(i));
+      EXPECT_EQ(top.at_max.read(), i == 4);
+    }
+    sim.step();  // wraps to 0
+    EXPECT_EQ(top.value.read(), 0u);
+    EXPECT_FALSE(top.at_max.read());
+  }
+}
+
+/// A module that *lies*: declares state but writes an unregistered
+/// signal from on_clock().
+struct LyingModule : Module {
+  Bus out{*this, "out", 8};
+
+  LyingModule() : Module(nullptr, "liar") {}
+  void on_clock() override { out.write(out.read() + 1); }
+  void declare_state() override { declare_seq_state(); }  // out missing
+};
+
+TEST(SeqStateProtocol, ContractViolationRaises) {
+  LyingModule top;
+  Simulator sim(top);  // check_seq_contract defaults to on
+  sim.reset();
+  EXPECT_THROW(sim.step(), ProtocolError);
+}
+
+TEST(SeqStateProtocol, ContractCheckCanBeDisabled) {
+  LyingModule top;
+  Simulator sim(top, {.check_seq_contract = false});
+  sim.reset();
+  // Still *correct* (the write reaches the pending list like any other);
+  // the check only enforces that declarations stay complete.
+  sim.step(3);
+  EXPECT_EQ(top.out.read(), 3u);
+}
+
+TEST(SeqStateProtocol, DesignsAreFullyDeclared) {
+  // Every module of every shipped design declares its sequential state:
+  // the conservative opaque sweep never fires.
+  const std::pair<std::string, Factory> designs[] = {
+      {"saa2vga_pattern",
+       [] {
+         return designs::make_saa2vga_pattern(
+             {.width = 16, .height = 12, .buffer_depth = 64, .frames = 1});
+       }},
+      {"blur_pattern",
+       [] {
+         return designs::make_blur_pattern(
+             {.width = 16, .height = 12, .frames = 1});
+       }},
+  };
+  for (const auto& [label, make] : designs) {
+    auto d = make();
+    Simulator sim(*d);
+    d->visit([&](const rtl::Module& m) {
+      EXPECT_FALSE(m.opaque_state())
+          << label << ": module '" << m.full_name()
+          << "' has no sequential-state declaration";
+    });
+    sim.reset();
+    sim.run_until([&] { return d->finished(); }, kMaxCycles);
+    EXPECT_GT(sim.stats().seq_skips, 0u) << label;
+  }
 }
 
 }  // namespace
