@@ -1,0 +1,85 @@
+// Multi-clock scheduler throughput (google-benchmark): the dual-clock
+// saa2vga design across pixel/memory clock ratios, event-driven vs the
+// full-sweep reference kernel.
+//
+// Each iteration builds a fresh design and simulates it to completion
+// (reset, CDC fill, frames, drain).  Beyond the kernel counters of
+// bench_sim_kernel, this reports the multi-clock quantities:
+//
+//   steps_per_sec     clock-edge events per wall second
+//   edges_per_step    domain edges per event (> 1 when domains align)
+//   pix_edges/mem_edges  per-domain edge totals per run
+//   act_skips_per_edge   on_clock() calls avoided per edge by the
+//                        per-domain activation lists (the former
+//                        O(all-modules) per-edge loop)
+//
+// bench/run_bench.sh runs this with JSON output into
+// BENCH_multiclock.json; the deterministic counters are gated in CI by
+// bench_stats_gate --check against bench/baselines.json.
+#include <benchmark/benchmark.h>
+
+#include "designs/design.hpp"
+#include "rtl/simulator.hpp"
+
+namespace {
+
+using namespace hwpat;
+
+template <bool FullSweep>
+void BM_Saa2VgaDualClk(benchmark::State& state) {
+  const designs::Saa2VgaDualClkConfig cfg{
+      .width = 32,
+      .height = 24,
+      .cdc_depth = 16,
+      .frames = 1,
+      .pix_period = state.range(0),
+      .mem_period = state.range(1)};
+  std::uint64_t cycles = 0;
+  rtl::Simulator::Stats stats;
+  std::uint64_t pix_edges = 0, mem_edges = 0;
+  for (auto _ : state) {
+    auto d = designs::make_saa2vga_dualclk(cfg);
+    rtl::Simulator sim(*d, {.full_sweep = FullSweep});
+    sim.reset();
+    sim.run_until([&] { return d->finished(); }, 50'000'000);
+    cycles += sim.cycle();
+    stats.steps += sim.stats().steps;
+    stats.evals += sim.stats().evals;
+    stats.commits += sim.stats().commits;
+    stats.edges += sim.stats().edges;
+    stats.act_skips += sim.stats().act_skips;
+    pix_edges += sim.stats().domain_edges[0];
+    mem_edges += sim.stats().domain_edges[1];
+    benchmark::DoNotOptimize(d->sink().pixels_received());
+  }
+  const auto per_iter = [&](std::uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles"] = benchmark::Counter(per_iter(cycles));
+  state.counters["evals_per_step"] = benchmark::Counter(
+      static_cast<double>(stats.evals) / static_cast<double>(stats.steps));
+  state.counters["edges_per_step"] = benchmark::Counter(
+      static_cast<double>(stats.edges) / static_cast<double>(stats.steps));
+  state.counters["pix_edges"] = benchmark::Counter(per_iter(pix_edges));
+  state.counters["mem_edges"] = benchmark::Counter(per_iter(mem_edges));
+  state.counters["act_skips_per_edge"] = benchmark::Counter(
+      static_cast<double>(stats.act_skips) /
+      static_cast<double>(stats.edges));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Saa2VgaDualClk<false>)
+    ->Name("saa2vga_dualclk/event")
+    ->Args({1, 1})
+    ->Args({3, 1})
+    ->Args({1, 3})
+    ->Args({3, 7});
+BENCHMARK(BM_Saa2VgaDualClk<true>)
+    ->Name("saa2vga_dualclk/full_sweep")
+    ->Args({1, 1})
+    ->Args({3, 1});
+// main() comes from benchmark_main (see CMakeLists.txt), as in the
+// other google-benchmark benches.

@@ -43,6 +43,9 @@ struct Counters {
   std::uint64_t evals = 0;
   std::uint64_t commits = 0;
   std::uint64_t seq_skips = 0;
+  std::uint64_t edges = 0;      ///< domain edges (== cycles single-clock)
+  std::uint64_t act_skips = 0;  ///< activation-list on_clock() skips
+  std::vector<std::uint64_t> domain_edges;  ///< per domain, "domN" keys
 };
 
 struct Scenario {
@@ -90,6 +93,20 @@ const Scenario kScenarios[] = {
        return designs::make_blur_custom(
            {.width = 24, .height = 18, .frames = 2});
      }},
+    // Dual-clock CDC scenarios: per-domain edge counts and the
+    // activation-list skip counter are functional quantities here.
+    {"saa2vga_dualclk_3to1",
+     [] {
+       return designs::make_saa2vga_dualclk(
+           {.width = 24, .height = 18, .cdc_depth = 16, .frames = 2,
+            .pix_period = 3, .mem_period = 1});
+     }},
+    {"saa2vga_dualclk_3to7",
+     [] {
+       return designs::make_saa2vga_dualclk(
+           {.width = 24, .height = 18, .cdc_depth = 16, .frames = 2,
+            .pix_period = 3, .mem_period = 7});
+     }},
 };
 
 Counters run_scenario(const Scenario& s) {
@@ -97,8 +114,10 @@ Counters run_scenario(const Scenario& s) {
   rtl::Simulator sim(*d);
   sim.reset();
   sim.run_until([&] { return d->finished(); }, kMaxCycles);
-  return Counters{sim.cycle(), sim.stats().evals, sim.stats().commits,
-                  sim.stats().seq_skips};
+  return Counters{sim.cycle(),           sim.stats().evals,
+                  sim.stats().commits,   sim.stats().seq_skips,
+                  sim.stats().edges,     sim.stats().act_skips,
+                  sim.stats().domain_edges};
 }
 
 // --------------------------------------------------------------- JSON
@@ -113,7 +132,11 @@ void write_baselines(const std::map<std::string, Counters>& all,
     first = false;
     out << "  \"" << name << "\": {\"cycles\": " << c.cycles
         << ", \"evals\": " << c.evals << ", \"commits\": " << c.commits
-        << ", \"seq_skips\": " << c.seq_skips << "}";
+        << ", \"seq_skips\": " << c.seq_skips << ", \"edges\": " << c.edges
+        << ", \"act_skips\": " << c.act_skips;
+    for (std::size_t i = 0; i < c.domain_edges.size(); ++i)
+      out << ", \"dom" << i << "\": " << c.domain_edges[i];
+    out << "}";
   }
   out << "\n}\n";
 }
@@ -171,7 +194,19 @@ std::map<std::string, Counters> read_baselines(const std::string& path) {
       else if (key == "evals") c.evals = v;
       else if (key == "commits") c.commits = v;
       else if (key == "seq_skips") c.seq_skips = v;
-      else
+      else if (key == "edges") c.edges = v;
+      else if (key == "act_skips") c.act_skips = v;
+      else if (key.size() >= 4 && key.size() <= 5 &&
+               key.rfind("dom", 0) == 0 &&
+               key.find_first_not_of("0123456789", 3) ==
+                   std::string::npos) {
+        // dom0 .. dom99 — anything else (typo, absurd index) falls
+        // through to the unknown-key error below.
+        const std::size_t idx =
+            static_cast<std::size_t>(std::stoul(key.substr(3)));
+        if (c.domain_edges.size() <= idx) c.domain_edges.resize(idx + 1, 0);
+        c.domain_edges[idx] = v;
+      } else
         throw Error("bench_stats_gate: unknown baseline key '" + key +
                     "'");
     }
@@ -199,7 +234,12 @@ void print_counters(const std::map<std::string, Counters>& all) {
               << "/step) commits=" << c.commits << " ("
               << static_cast<double>(c.commits) /
                      static_cast<double>(c.cycles)
-              << "/step) seq_skips=" << c.seq_skips << "\n";
+              << "/step) seq_skips=" << c.seq_skips
+              << " edges=" << c.edges << " act_skips=" << c.act_skips
+              << " domains=[";
+    for (std::size_t i = 0; i < c.domain_edges.size(); ++i)
+      std::cout << (i ? " " : "") << c.domain_edges[i];
+    std::cout << "]\n";
   }
 }
 
@@ -232,16 +272,44 @@ int check(const std::string& path) {
       ok = false;
       continue;
     }
-    // Cycle counts are functional, not perf: any drift is a behaviour
-    // change the differential tests should have caught — hard-fail.
+    // Cycle and edge counts are functional, not perf: any drift is a
+    // behaviour change the differential tests should have caught —
+    // hard-fail.  Per-domain edges catch a module landing in the wrong
+    // domain even when the totals happen to agree.
     if (c.cycles != it->second.cycles) {
       std::cout << "FAIL " << name << ": cycle count changed "
                 << it->second.cycles << " -> " << c.cycles << "\n";
       ok = false;
       continue;
     }
+    if (c.edges != it->second.edges ||
+        c.domain_edges != it->second.domain_edges) {
+      auto fmt = [](const Counters& x) {
+        std::string s = std::to_string(x.edges) + " [";
+        for (std::size_t i = 0; i < x.domain_edges.size(); ++i) {
+          if (i != 0) s += " ";
+          s += std::to_string(x.domain_edges[i]);
+        }
+        return s + "]";
+      };
+      std::cout << "FAIL " << name << ": domain edge counts changed "
+                << fmt(it->second) << " -> " << fmt(c) << "\n";
+      ok = false;
+      continue;
+    }
     ok &= check_counter(name, "evals", c.evals, it->second.evals);
     ok &= check_counter(name, "commits", c.commits, it->second.commits);
+    // act_skips gates the activation lists staying engaged: a module
+    // leaking into every domain's list shows up as fewer skips.
+    const auto min_act = static_cast<std::uint64_t>(
+        static_cast<double>(it->second.act_skips) * (1.0 - kSlack));
+    if (c.act_skips < min_act) {
+      std::cout << "FAIL " << name << ": act_skips dropped "
+                << it->second.act_skips << " -> " << c.act_skips
+                << " (min " << min_act
+                << ") — per-domain activation lists partially disengaged\n";
+      ok = false;
+    }
     // seq_skips gates the declared-state protocol staying engaged: a
     // module regressing to opaque (or a lost declaration) shows up as
     // fewer post-edge skips even when evals stay inside their slack.

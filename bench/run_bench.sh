@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Runs the simulation-kernel benchmark and records the result as
-# BENCH_sim.json in the repository root, so successive PRs accumulate a
-# perf trajectory.  Usage:
+# Runs the simulation-kernel benchmarks and records the results as
+# BENCH_sim.json (single-clock kernel) and BENCH_multiclock.json
+# (multi-clock scheduler) in the repository root, so successive PRs
+# accumulate a perf trajectory.  Usage:
 #
 #   bench/run_bench.sh [build_dir]
 #
@@ -11,17 +12,21 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
-bench="$build_dir/bench_sim_kernel"
 
-if [ ! -x "$bench" ]; then
-  echo "error: $bench not built (run: cmake -B build -S . && cmake --build build -j)" >&2
-  exit 1
-fi
+run_one() {
+  bench="$build_dir/$1"
+  out="$repo_root/$2"
+  if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (run: cmake -B build -S . && cmake --build build -j)" >&2
+    exit 1
+  fi
+  "$bench" \
+    --benchmark_format=console \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json
+  echo
+  echo "wrote $out"
+}
 
-"$bench" \
-  --benchmark_format=console \
-  --benchmark_out="$repo_root/BENCH_sim.json" \
-  --benchmark_out_format=json
-
-echo
-echo "wrote $repo_root/BENCH_sim.json"
+run_one bench_sim_kernel BENCH_sim.json
+run_one bench_multiclock BENCH_multiclock.json

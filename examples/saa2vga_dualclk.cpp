@@ -1,0 +1,62 @@
+// saa2vga across two clock domains: the pipeline of Figures 1 and 3
+// with the decoder and VGA coder on the pixel clock and the copy loop
+// on a 3x faster memory clock, bridged by dual-clock async FIFOs
+// (gray-coded pointers, 2-flop synchronizers).
+//
+// The model is the same CopyFsm + iterator pair as the single-clock
+// pattern design; only the buffer specs were rebound (to
+// DeviceKind::AsyncFifoCore) and the domains assigned — the paper's
+// retargeting claim extended to a multi-clock platform.  The run prints
+// the per-domain edge counts and the activation-list savings, and dumps
+// a time-correct VCD: with the memory clock at 100 MHz (period 1 tick =
+// 10 ns) the pixel clock lands at 33.3 MHz (period 3 ticks).
+#include <cstdio>
+
+#include "designs/design.hpp"
+#include "rtl/simulator.hpp"
+#include "video/frame.hpp"
+
+using namespace hwpat;
+
+int main() {
+  const designs::Saa2VgaDualClkConfig cfg{
+      .width = 64, .height = 48, .cdc_depth = 16, .frames = 2,
+      .pix_period = 3, .mem_period = 1};
+
+  std::printf("camera -> decoder [pix] -> rbuffer(CDC) =it=> copy [mem] "
+              "=it=> wbuffer(CDC) -> vga [pix]  (%dx%d)\n\n",
+              cfg.width, cfg.height);
+
+  auto d = designs::make_saa2vga_dualclk(cfg);
+  rtl::Simulator sim(*d, {.tick_ps = 10'000});  // 1 tick = 10 ns
+  sim.open_vcd("saa2vga_dualclk.vcd");
+  sim.reset();
+  sim.run_until([&] { return d->finished(); }, 10'000'000);
+
+  std::printf("finished after %llu edge events (%llu ticks = %.1f us)\n",
+              static_cast<unsigned long long>(sim.cycle()),
+              static_cast<unsigned long long>(sim.now()),
+              static_cast<double>(sim.now()) * 10e-3);
+  for (std::size_t i = 0; i < sim.domain_count(); ++i) {
+    const auto info = sim.domain_info(i);
+    std::printf("  domain %-4s period %llu tick(s), %zu module(s), %llu "
+                "edges\n",
+                info.name.c_str(),
+                static_cast<unsigned long long>(info.period), info.modules,
+                static_cast<unsigned long long>(
+                    sim.stats().domain_edges[i]));
+  }
+  std::printf("  activation lists skipped %llu on_clock() visits "
+              "(%.1f/edge)\n",
+              static_cast<unsigned long long>(sim.stats().act_skips),
+              static_cast<double>(sim.stats().act_skips) /
+                  static_cast<double>(sim.stats().edges));
+
+  const auto input = designs::camera_frames(cfg.width, cfg.height,
+                                            cfg.frames, cfg.pattern_seed);
+  const bool exact = d->sink().frames() == input;
+  std::printf("\npixel-exact across the clock-domain crossing: %s\n",
+              exact ? "yes" : "NO");
+  std::printf("waveform: saa2vga_dualclk.vcd ($timescale 10ns)\n");
+  return exact ? 0 : 1;
+}

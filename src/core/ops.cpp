@@ -156,10 +156,11 @@ std::vector<DeviceKind> legal_devices(ContainerKind k) {
       return {DeviceKind::LifoCore, DeviceKind::Sram, DeviceKind::BlockRam};
     case ContainerKind::Queue:
     case ContainerKind::WriteBuffer:
-      return {DeviceKind::FifoCore, DeviceKind::Sram, DeviceKind::BlockRam};
+      return {DeviceKind::FifoCore, DeviceKind::Sram, DeviceKind::BlockRam,
+              DeviceKind::AsyncFifoCore};
     case ContainerKind::ReadBuffer:
       return {DeviceKind::FifoCore, DeviceKind::Sram, DeviceKind::BlockRam,
-              DeviceKind::LineBuffer3};
+              DeviceKind::LineBuffer3, DeviceKind::AsyncFifoCore};
     case ContainerKind::Vector:
     case ContainerKind::AssocArray:
       return {DeviceKind::Sram, DeviceKind::BlockRam};

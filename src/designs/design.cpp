@@ -4,6 +4,7 @@
 #include "designs/blur_custom.hpp"
 #include "designs/blur_pattern.hpp"
 #include "designs/saa2vga_custom.hpp"
+#include "designs/saa2vga_dualclk.hpp"
 #include "designs/saa2vga_pattern.hpp"
 
 namespace hwpat::designs {
@@ -35,6 +36,11 @@ std::unique_ptr<VideoDesign> make_blur_pattern(const BlurConfig& cfg) {
 
 std::unique_ptr<VideoDesign> make_blur_custom(const BlurConfig& cfg) {
   return std::make_unique<BlurCustom>(cfg);
+}
+
+std::unique_ptr<VideoDesign> make_saa2vga_dualclk(
+    const Saa2VgaDualClkConfig& cfg) {
+  return std::make_unique<Saa2VgaDualClk>(cfg);
 }
 
 }  // namespace hwpat::designs

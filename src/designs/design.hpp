@@ -48,6 +48,22 @@ struct BlurConfig {
   unsigned pattern_seed = 1;
 };
 
+/// saa2vga split across independent pixel and memory clock domains,
+/// crossing through dual-clock async FIFOs (see saa2vga_dualclk.hpp).
+/// Periods/phases are in scheduler ticks; the defaults model a memory
+/// clock three times faster than the pixel clock.
+struct Saa2VgaDualClkConfig {
+  int width = 64;
+  int height = 48;
+  int cdc_depth = 16;  ///< async-FIFO capacity; power of two, >= 2
+  int frames = 1;
+  unsigned pattern_seed = 1;
+  std::int64_t pix_period = 3;
+  std::int64_t mem_period = 1;
+  std::int64_t pix_phase = 0;
+  std::int64_t mem_phase = 0;
+};
+
 /// saa2vga, pattern-based (rows 1-2 of Table 3; device selects which).
 [[nodiscard]] std::unique_ptr<VideoDesign> make_saa2vga_pattern(
     const Saa2VgaConfig& cfg);
@@ -60,6 +76,10 @@ struct BlurConfig {
 /// blur, ad hoc implementation.
 [[nodiscard]] std::unique_ptr<VideoDesign> make_blur_custom(
     const BlurConfig& cfg);
+/// saa2vga, pattern-based, dual-clock (pixel + memory domains bridged
+/// by async FIFOs).
+[[nodiscard]] std::unique_ptr<VideoDesign> make_saa2vga_dualclk(
+    const Saa2VgaDualClkConfig& cfg);
 
 /// The frame sequence both versions of a design are fed with.
 [[nodiscard]] std::vector<video::Frame> camera_frames(int w, int h,

@@ -11,6 +11,7 @@ std::string to_string(DeviceKind k) {
     case DeviceKind::Sram: return "sram";
     case DeviceKind::BlockRam: return "bram";
     case DeviceKind::LineBuffer3: return "linebuf3";
+    case DeviceKind::AsyncFifoCore: return "async_fifo";
   }
   throw InternalError("unknown DeviceKind");
 }
@@ -32,6 +33,11 @@ DeviceTraits traits_of(DeviceKind k) {
       return {.read_cycles = 1, .write_cycles = 1, .on_chip = true,
               .random_access = true};
     case DeviceKind::LineBuffer3:
+      return {.read_cycles = 1, .write_cycles = 1, .on_chip = true,
+              .random_access = false};
+    case DeviceKind::AsyncFifoCore:
+      // One access per edge of the respective side's clock; the 2-flop
+      // pointer synchronisers only delay flag visibility, not data.
       return {.read_cycles = 1, .write_cycles = 1, .on_chip = true,
               .random_access = false};
   }

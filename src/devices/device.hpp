@@ -12,11 +12,12 @@ namespace hwpat::devices {
 
 /// Physical storage devices available on the modelled platform.
 enum class DeviceKind {
-  FifoCore,     ///< on-chip FIFO macro built from block RAM
-  LifoCore,     ///< on-chip LIFO (stack) macro built from block RAM
-  Sram,         ///< external asynchronous static RAM (off-chip)
-  BlockRam,     ///< on-chip dual-port block RAM
-  LineBuffer3,  ///< special 3-line buffer delivering pixel columns
+  FifoCore,       ///< on-chip FIFO macro built from block RAM
+  LifoCore,       ///< on-chip LIFO (stack) macro built from block RAM
+  Sram,           ///< external asynchronous static RAM (off-chip)
+  BlockRam,       ///< on-chip dual-port block RAM
+  LineBuffer3,    ///< special 3-line buffer delivering pixel columns
+  AsyncFifoCore,  ///< dual-clock FIFO macro (gray-coded CDC pointers)
 };
 
 [[nodiscard]] std::string to_string(DeviceKind k);

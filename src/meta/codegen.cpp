@@ -74,6 +74,12 @@ void add_impl_ports(Entity& e, const ContainerSpec& s) {
   switch (s.device) {
     case DeviceKind::FifoCore:
     case DeviceKind::LifoCore:
+    case DeviceKind::AsyncFifoCore:
+      // The dual-clock core exposes the same p_* wrapper interface as
+      // the synchronous macro: like every core binding, the macro
+      // itself sits *outside* the generated wrapper (connected through
+      // the p_* ports), so the CDC machinery — gray pointers,
+      // synchronizers, and both clocks — never passes through here.
       if (reads_device(s)) {
         e.ports.push_back({"p_empty", PortDir::In, Type::bit(), kImpl});
         e.ports.push_back({"p_read", PortDir::Out, Type::bit(), kImpl});
@@ -283,6 +289,11 @@ DesignUnit generate_container(const ContainerSpec& spec) {
   switch (spec.device) {
     case DeviceKind::FifoCore:
     case DeviceKind::LifoCore:
+    case DeviceKind::AsyncFifoCore:
+      // The wrapper around the dual-clock core is the same renaming as
+      // the synchronous one: the spec layer already banned the size
+      // method (no global occupancy across domains), so the occupancy
+      // counter branch never triggers.
       fill_core_arch(u.arch, spec);
       break;
     case DeviceKind::Sram:

@@ -1,5 +1,7 @@
 #include "meta/factory.hpp"
 
+#include "core/stream_cdc.hpp"
+
 namespace hwpat::meta {
 
 std::unique_ptr<core::Container> build_stream_container(
@@ -56,6 +58,20 @@ std::unique_ptr<core::Container> build_stream_container(
                                             .strict = true},
           ports.method, *ports.sof);
     }
+    case DeviceKind::AsyncFifoCore:
+      // validate(spec) already guaranteed lanes == 1 (no width
+      // adaptation across a clock-domain crossing) and a power-of-two
+      // depth; nullptr domains are allowed and degenerate into a
+      // synchronous FIFO with synchronizer flag latency.
+      return std::make_unique<core::CdcStreamContainer>(
+          parent, spec.name,
+          core::CdcStreamContainer::Config{.kind = spec.kind,
+                                           .elem_bits = bus,
+                                           .depth = spec.depth,
+                                           .strict = true,
+                                           .wr_domain = ports.wr_domain,
+                                           .rd_domain = ports.rd_domain},
+          ports.method);
     case DeviceKind::BlockRam:
       throw SpecError("build_stream_container('" + spec.name +
                       "'): stream-over-BRAM RTL binding is provided via "

@@ -27,6 +27,10 @@ struct StreamBuildPorts {
   core::StreamImpl method;             ///< the container method wires
   core::SramMaster* mem = nullptr;     ///< required for DeviceKind::Sram
   const rtl::Bit* sof = nullptr;       ///< required for LineBuffer3
+  /// Clock domains of the producer/consumer halves, for the dual-clock
+  /// AsyncFifoCore binding (nullptr = inherit the parent's domain).
+  const rtl::ClockDomain* wr_domain = nullptr;
+  const rtl::ClockDomain* rd_domain = nullptr;
 };
 
 /// Builds a stream container (stack/queue/rbuffer/wbuffer) per spec.

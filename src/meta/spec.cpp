@@ -49,7 +49,14 @@ bool method_available(ContainerKind k, Method m) {
 }
 
 std::vector<Method> ContainerSpec::effective_methods() const {
-  return used_methods.empty() ? methods_for(kind) : used_methods;
+  std::vector<Method> v =
+      used_methods.empty() ? methods_for(kind) : used_methods;
+  // The dual-clock FIFO has no global occupancy, so a defaulted method
+  // set silently omits size; an *explicit* size request is a spec error
+  // (validate()).
+  if (device == DeviceKind::AsyncFifoCore)
+    v.erase(std::remove(v.begin(), v.end(), Method::Size), v.end());
+  return v;
 }
 
 std::string ContainerSpec::entity_name() const {
@@ -90,6 +97,23 @@ void validate(const ContainerSpec& spec) {
   if (spec.shared_device && spec.device != DeviceKind::Sram)
     throw SpecError("container spec '" + spec.name +
                     "': only external SRAM can be shared/arbitrated");
+  if (spec.device == DeviceKind::AsyncFifoCore) {
+    if (spec.depth < 2 || (spec.depth & (spec.depth - 1)) != 0)
+      throw SpecError("container spec '" + spec.name +
+                      "': the dual-clock FIFO's gray-coded pointers need "
+                      "a power-of-two depth >= 2, got " +
+                      std::to_string(spec.depth));
+    if (bus != spec.elem_bits)
+      throw SpecError("container spec '" + spec.name +
+                      "': the dual-clock FIFO crosses whole elements and "
+                      "does not support width adaptation");
+    for (Method m : spec.used_methods)
+      if (m == Method::Size)
+        throw SpecError("container spec '" + spec.name +
+                        "': the dual-clock FIFO has no global occupancy "
+                        "(each clock domain only sees its synchronized "
+                        "view) — the size method cannot be bound");
+  }
 }
 
 OpSet IteratorSpec::effective_ops() const {

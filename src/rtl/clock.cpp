@@ -1,0 +1,21 @@
+#include "rtl/clock.hpp"
+
+#include "common/error.hpp"
+
+namespace hwpat::rtl {
+
+ClockDomain::ClockDomain(std::string name, std::int64_t period,
+                         std::int64_t phase)
+    : name_(std::move(name)) {
+  if (period <= 0)
+    throw Error("clock domain '" + name_ + "': period must be positive, got " +
+                std::to_string(period) +
+                " ticks (a non-positive period would never schedule an edge)");
+  if (phase < 0)
+    throw Error("clock domain '" + name_ + "': phase must be >= 0, got " +
+                std::to_string(phase) + " ticks");
+  period_ = static_cast<std::uint64_t>(period);
+  phase_ = static_cast<std::uint64_t>(phase);
+}
+
+}  // namespace hwpat::rtl

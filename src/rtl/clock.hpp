@@ -1,0 +1,46 @@
+// ClockDomain: a named periodic edge source for the multi-clock
+// scheduler.
+//
+// The simulator measures time in integer *ticks*.  A domain with period
+// P and phase F produces rising edges at ticks F+P, F+2P, F+3P, ...
+// (never at tick 0, which is the reset sample point).  Ratios between
+// domains are therefore exact by construction: a 3:1 pixel/memory split
+// is {period 3} against {period 1}, and coprime ratios like 3:7 need no
+// common-multiple bookkeeping beyond the tick counter itself.
+//
+// Domains are owned by the design (or testbench) like modules are:
+// create them as members, then assign subtrees with
+// Module::set_clock_domain().  Modules without an assignment inherit
+// their parent's domain; a whole design without any assignment lands in
+// the simulator's built-in default domain (period 1, phase 0), which
+// reproduces the single-clock "one step() = one edge" model exactly.
+//
+// A ClockDomain is immutable after construction and carries no
+// scheduler state, so the same domain object can be reused across
+// sequential Simulator bindings (like the module tree itself).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hwpat::rtl {
+
+class ClockDomain {
+ public:
+  /// Creates a domain producing edges every `period` ticks starting at
+  /// tick `phase + period`.  Throws Error at construction (elaboration)
+  /// for a zero/negative period or a negative phase — a non-positive
+  /// period would otherwise make the tick scheduler loop forever.
+  ClockDomain(std::string name, std::int64_t period, std::int64_t phase = 0);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t period() const { return period_; }
+  [[nodiscard]] std::uint64_t phase() const { return phase_; }
+
+ private:
+  std::string name_;
+  std::uint64_t period_;
+  std::uint64_t phase_;
+};
+
+}  // namespace hwpat::rtl

@@ -31,6 +31,13 @@ std::string Module::full_name() const {
   return parent_->full_name() + "." + name_;
 }
 
+void Module::set_clock_domain(const ClockDomain* d) {
+  HWPAT_ASSERT(sim_id_ < 0 &&
+               "clock domains are resolved at elaboration; unbind the "
+               "simulator before reassigning");
+  domain_ = d;
+}
+
 void Module::register_seq(SignalBase& s) {
   seq_declared_ = true;
   if (std::find(seq_signals_.begin(), seq_signals_.end(), &s) ==

@@ -24,6 +24,8 @@
 
 namespace hwpat::rtl {
 
+class ClockDomain;
+
 class Module {
  public:
   /// Creates a module named `name` under `parent` (nullptr for the top).
@@ -42,6 +44,18 @@ class Module {
   [[nodiscard]] const std::vector<SignalBase*>& signals() const {
     return signals_;
   }
+
+  /// Assigns this module — and, by inheritance, every descendant
+  /// without its own assignment — to clock domain `d` (nullptr clears
+  /// the assignment back to "inherit").  The domain object is owned by
+  /// the design, like modules themselves; it must outlive every
+  /// Simulator bound to this tree.  Must be called while unbound:
+  /// domains are resolved once, at elaboration.
+  void set_clock_domain(const ClockDomain* d);
+  /// The explicit assignment on this module (nullptr = inherit from the
+  /// parent; a fully unassigned tree runs in the simulator's built-in
+  /// default domain of period 1).
+  [[nodiscard]] const ClockDomain* clock_domain() const { return domain_; }
 
   /// Combinational process (see file comment).  Default: none.
   virtual void eval_comb() {}
@@ -122,6 +136,7 @@ class Module {
   std::string name_;
   std::vector<Module*> children_;
   std::vector<SignalBase*> signals_;
+  const ClockDomain* domain_ = nullptr;  ///< explicit assignment, or inherit
 
   // --- state owned by the binding Simulator (see simulator.cpp) ---
   int sim_id_ = -1;          ///< dense id in elaboration order, -1 = unbound

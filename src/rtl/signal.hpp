@@ -100,6 +100,11 @@ class SignalBase {
   virtual void reset_value() = 0;
   /// Current value as a word, for VCD dumping (width <= 64 only).
   [[nodiscard]] virtual Word as_word() const = 0;
+  /// Non-virtual as_word() dispatcher: inlines the Word/bool reads (the
+  /// two signal types that dominate every sampled waveform) and falls
+  /// back to the virtual as_word() for everything else.  Defined after
+  /// Signal<T> below; the VCD sampling hot loop uses it.
+  [[nodiscard]] Word as_word_fast() const;
 
  protected:
   /// Called by Signal<T>::write(): schedules this signal for commit on
@@ -204,13 +209,18 @@ class Signal : public SignalBase {
   // bypassed — the compiler now rejects the attempt instead.
   bool commit() final { return commit_inline(); }
 
-  [[nodiscard]] Word as_word() const override {
+  /// Non-virtual body of as_word(), callable directly when the concrete
+  /// type is known statically (the as_word_fast() dispatch).
+  [[nodiscard]] Word as_word_inline() const {
     if constexpr (std::is_convertible_v<T, Word>) {
       return static_cast<Word>(cur_);
     } else {
       return 0;
     }
   }
+
+  // final for the same reason as commit() above.
+  [[nodiscard]] Word as_word() const final { return as_word_inline(); }
 
  private:
   T cur_;
@@ -250,6 +260,19 @@ inline bool SignalBase::commit_fast() {
       break;
   }
   return commit();
+}
+
+inline Word SignalBase::as_word_fast() const {
+  // Soundness of the static_casts: same argument as commit_fast().
+  switch (kind_) {
+    case SigKind::kWord:
+      return static_cast<const Signal<Word>*>(this)->as_word_inline();
+    case SigKind::kBool:
+      return static_cast<const Signal<bool>*>(this)->as_word_inline();
+    case SigKind::kOther:
+      break;
+  }
+  return as_word();
 }
 
 }  // namespace hwpat::rtl

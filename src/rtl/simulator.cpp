@@ -8,11 +8,15 @@ namespace hwpat::rtl {
 
 Simulator::Simulator(Module& top, Options opt) : top_(top), opt_(opt) {
   HWPAT_ASSERT(opt_.delta_limit > 0);
+  if (opt_.tick_ps <= 0)
+    throw Error("Simulator options: tick_ps must be positive, got " +
+                std::to_string(opt_.tick_ps));
   top_.visit([this](Module& m) {
     modules_.push_back(&m);
     for (SignalBase* s : m.signals()) signals_.push_back(s);
   });
   bind();
+  stats_.domain_edges.assign(scheds_.size(), 0);
 }
 
 Simulator::~Simulator() { unbind(); }
@@ -28,9 +32,8 @@ void Simulator::bind() {
     m->seq_signals_.clear();
     m->seq_queue_ = opt_.full_sweep ? nullptr : &touched_;
     m->declare_state();
-    if (!opt_.full_sweep && m->opaque_state())
-      opaque_modules_.push_back(m);
   }
+  build_domains();
   for (std::size_t i = 0; i < signals_.size(); ++i) {
     SignalBase* s = signals_[i];
     s->id_ = static_cast<int>(i);
@@ -49,6 +52,39 @@ void Simulator::bind() {
       pending_.push_back(s);
     }
     mark_all_modules_dirty();
+  }
+}
+
+std::size_t Simulator::sched_index_for(const ClockDomain* d) {
+  for (std::size_t i = 0; i < scheds_.size(); ++i)
+    if (scheds_[i].domain == d) return i;
+  DomainSched ds;
+  ds.domain = d;
+  if (d != nullptr) {
+    ds.name = d->name();
+    ds.period = d->period();  // > 0, guaranteed by the ClockDomain ctor
+    ds.phase = d->phase();
+  }
+  ds.next_edge = ds.phase + ds.period;
+  scheds_.push_back(std::move(ds));
+  return scheds_.size() - 1;
+}
+
+void Simulator::build_domains() {
+  scheds_.clear();
+  // modules_ is in elaboration (pre)order, so a parent's effective
+  // domain is resolved before any of its children are visited.
+  std::vector<const ClockDomain*> effective(modules_.size(), nullptr);
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    Module* m = modules_[i];
+    const ClockDomain* eff = m->domain_;
+    if (eff == nullptr && m->parent() != nullptr)
+      eff = effective[static_cast<std::size_t>(m->parent()->sim_id_)];
+    effective[i] = eff;
+    const std::size_t di = sched_index_for(eff);
+    scheds_[di].active.push_back(m);
+    if (!opt_.full_sweep && m->opaque_state())
+      scheds_[di].opaque.push_back(m);
   }
 }
 
@@ -72,6 +108,17 @@ void Simulator::unbind() {
   }
 }
 
+Simulator::DomainInfo Simulator::domain_info(std::size_t i) const {
+  HWPAT_ASSERT(i < scheds_.size());
+  const DomainSched& ds = scheds_[i];
+  return DomainInfo{ds.name, ds.period, ds.phase, ds.active.size()};
+}
+
+void Simulator::reset_stats() {
+  stats_ = {};
+  stats_.domain_edges.assign(scheds_.size(), 0);
+}
+
 void Simulator::set_delta_limit(int limit) {
   HWPAT_ASSERT(limit > 0);
   opt_.delta_limit = limit;
@@ -82,6 +129,27 @@ void Simulator::throw_comb_loop() const {
       "combinational logic did not settle within " +
       std::to_string(opt_.delta_limit) + " delta cycles in design '" +
       top_.name() + "' — likely a combinational feedback loop");
+}
+
+void Simulator::throw_run_until_timeout(std::uint64_t max_cycles) const {
+  std::string msg = "run_until: condition not reached within " +
+                    std::to_string(max_cycles) + " cycles in design '" +
+                    top_.name() + "' (at cycle " + std::to_string(cycle_) +
+                    ", tick " + std::to_string(tick_) + "; domain edges:";
+  for (std::size_t i = 0; i < scheds_.size(); ++i) {
+    msg += (i == 0 ? " " : ", ") + scheds_[i].name + "=" +
+           std::to_string(i < stats_.domain_edges.size()
+                              ? stats_.domain_edges[i]
+                              : 0);
+    if (scheds_[i].period != 1 || scheds_[i].phase != 0) {
+      msg += " (period " + std::to_string(scheds_[i].period);
+      if (scheds_[i].phase != 0)
+        msg += ", phase " + std::to_string(scheds_[i].phase);
+      msg += ")";
+    }
+  }
+  msg += ")";
+  throw Error(msg);
 }
 
 // ---------------------------------------------------------------------
@@ -187,16 +255,26 @@ void Simulator::check_seq_writes(const Module* m, std::size_t first) const {
   }
 }
 
-void Simulator::clock_edge_event() {
-  if (opt_.check_seq_contract) {
-    for (Module* m : modules_) {
-      const std::size_t before = pending_.size();
-      m->on_clock();
-      check_seq_writes(m, before);
+void Simulator::fire_edges(bool check_contract) {
+  for (const std::size_t di : firing_) {
+    DomainSched& ds = scheds_[di];
+    if (check_contract) {
+      for (Module* m : ds.active) {
+        const std::size_t before = pending_.size();
+        m->on_clock();
+        check_seq_writes(m, before);
+      }
+    } else {
+      for (Module* m : ds.active) m->on_clock();
     }
-  } else {
-    for (Module* m : modules_) m->on_clock();
+    ++stats_.edges;
+    ++stats_.domain_edges[di];
+    stats_.act_skips += modules_.size() - ds.active.size();
   }
+}
+
+void Simulator::clock_edge_event() {
+  fire_edges(opt_.check_seq_contract);
   // Commits of changed register signals dirty their fanout modules.
   commit_pending();
   // Modules that reported internal-state changes re-evaluate once...
@@ -206,14 +284,27 @@ void Simulator::clock_edge_event() {
     mark_module_dirty(m);
   }
   touched_.clear();
-  // ...and undeclared modules conservatively re-evaluate every edge.
-  for (Module* m : opaque_modules_) mark_module_dirty(m);
+  // ...and undeclared modules conservatively re-evaluate after every
+  // edge of their own domain.
+  for (const std::size_t di : firing_)
+    for (Module* m : scheds_[di].opaque) mark_module_dirty(m);
   stats_.seq_skips += modules_.size() - worklist_.size();
 }
 
 // ---------------------------------------------------------------------
 // Common driver
 // ---------------------------------------------------------------------
+
+std::uint64_t Simulator::collect_next_edges() {
+  HWPAT_ASSERT(!scheds_.empty());
+  firing_.clear();
+  std::uint64_t t = scheds_[0].next_edge;
+  for (std::size_t i = 1; i < scheds_.size(); ++i)
+    t = std::min(t, scheds_[i].next_edge);
+  for (std::size_t i = 0; i < scheds_.size(); ++i)
+    if (scheds_[i].next_edge == t) firing_.push_back(i);
+  return t;
+}
 
 void Simulator::settle() {
   ++stats_.settles;
@@ -226,6 +317,8 @@ void Simulator::settle() {
 
 void Simulator::reset() {
   cycle_ = 0;
+  tick_ = 0;
+  for (DomainSched& ds : scheds_) ds.next_edge = ds.phase + ds.period;
   // Clear any scheduler state left by writes since the last settle (or
   // by a CombLoopError unwind): reset_value() bypasses write(), so stale
   // pending entries would otherwise commit garbage later.
@@ -258,12 +351,15 @@ void Simulator::reset() {
 void Simulator::step(int n) {
   for (int i = 0; i < n; ++i) {
     settle();
+    tick_ = collect_next_edges();
     if (opt_.full_sweep) {
-      for (Module* m : modules_) m->on_clock();
+      fire_edges(false);  // the contract check is event-kernel-only
       commit_all(nullptr);
     } else {
       clock_edge_event();
     }
+    for (const std::size_t di : firing_)
+      scheds_[di].next_edge += scheds_[di].period;
     settle();
     ++cycle_;
     ++stats_.steps;
@@ -276,7 +372,8 @@ void Simulator::step(int n) {
 // ---------------------------------------------------------------------
 
 void Simulator::open_vcd(const std::string& path) {
-  vcd_ = std::make_unique<VcdWriter>(path, top_);
+  vcd_ = std::make_unique<VcdWriter>(
+      path, top_, static_cast<std::uint64_t>(opt_.tick_ps));
   // Nothing is on the changed list yet: the first sample must scan all.
   vcd_full_pending_ = true;
 }
@@ -290,10 +387,10 @@ void Simulator::mark_vcd_change(SignalBase* s) {
 void Simulator::sample_vcd() {
   if (!vcd_) return;
   if (opt_.full_sweep || vcd_full_pending_) {
-    vcd_->sample(cycle_);
+    vcd_->sample(tick_);
     vcd_full_pending_ = false;
   } else {
-    vcd_->sample_changed(cycle_, vcd_changed_);
+    vcd_->sample_changed(tick_, vcd_changed_);
   }
   for (SignalBase* s : vcd_changed_) s->vcd_mark_ = false;
   vcd_changed_.clear();

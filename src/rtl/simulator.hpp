@@ -1,18 +1,31 @@
-// Single-clock cycle-accurate simulator.
+// Multi-clock-domain cycle-accurate simulator.
 //
-// Semantics of one step() (one rising clock edge):
+// Time is an integer *tick* counter.  Each clock domain (rtl/clock.hpp)
+// produces rising edges at ticks phase + k*period; one step() advances
+// to the next tick with at least one edge and executes every edge
+// scheduled there:
 //   1. settle combinational logic to a fixpoint (delta cycles),
-//   2. run every on_clock() process on the settled values,
+//   2. run the on_clock() of every module on the firing domains'
+//      *activation lists* on the settled values,
 //   3. commit, then settle combinational logic again.
 //
-// Because signals are two-phase, the order in which module processes run
-// never affects results.  A design whose combinational logic does not
-// reach a fixpoint within the delta limit raises CombLoopError — that is
-// a bug in the modelled hardware (a combinational feedback loop), not in
-// the simulator.
+// A design without any Module::set_clock_domain() assignment lives
+// entirely in the built-in default domain (period 1, phase 0) — then
+// one step() is one edge of that domain and the kernel behaves
+// bit-identically to the historical single-clock model.
+//
+// Because signals are two-phase, the order in which module processes
+// run never affects results — including the order of on_clock() across
+// domains that fire at the same tick (simultaneous edges are one
+// event).  A design whose combinational logic does not reach a fixpoint
+// within the delta limit raises CombLoopError — that is a bug in the
+// modelled hardware (a combinational feedback loop), not in the
+// simulator.  Combinational settling is domain-agnostic: comb processes
+// model wires, and wires do not belong to a clock.
 //
 // Two scheduling kernels implement those semantics (bit-identically —
-// tests/test_sim_kernel.cpp proves it differentially):
+// tests/test_sim_kernel.cpp and tests/test_multiclock.cpp prove it
+// differentially):
 //
 //  * event-driven (default): write() enqueues signals on a
 //    pending-commit list; settle() drains a dirty-module worklist seeded
@@ -25,13 +38,15 @@
 //    reports) are re-evaluated only when a register signal they read
 //    changed or they reported an internal-state change; modules without
 //    a declaration (`opaque_state`) are conservatively re-evaluated
-//    after every edge, because their on_clock() may change internal C++
-//    state invisibly to the signal graph.
+//    after every edge *of their own domain*, because their on_clock()
+//    may change internal C++ state invisibly to the signal graph.
 //
 //  * full_sweep (Options::full_sweep): the original reference kernel —
-//    every delta evaluates all modules and commits all signals.  Keep it
-//    for differential testing and for testbenches that mutate module
-//    state behind the kernel's back between settles.
+//    every delta evaluates all modules and commits all signals.  Clock
+//    edges still fire only the activation lists of the domains due at
+//    the current tick (that is semantics, not scheduling).  Keep it for
+//    differential testing and for testbenches that mutate module state
+//    behind the kernel's back between settles.
 //
 // See src/rtl/README.md for the design discussion.
 #pragma once
@@ -41,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "rtl/clock.hpp"
 #include "rtl/module.hpp"
 
 namespace hwpat::rtl {
@@ -65,28 +81,52 @@ class Simulator {
     /// only — those cases, and the invisible-internal-state half of
     /// the contract, are covered by the differential tests instead.
     bool check_seq_contract = true;
+    /// Physical duration of one scheduler tick in picoseconds; feeds
+    /// the VCD `$timescale` so multi-clock traces are time-correct.
+    /// Pick the greatest common divisor of the modelled clock periods
+    /// (e.g. 10'000 for a 100 MHz memory clock against a 33.3 MHz
+    /// pixel clock expressed as periods 1 and 3).  Rejected at
+    /// elaboration when zero/negative.  Default: 1 ns per tick, which
+    /// reproduces the historical single-clock header exactly.
+    std::int64_t tick_ps = 1000;
   };
 
   /// Work counters, cumulative since construction or reset_stats().
   /// evals/commits are the quantities the event-driven kernel exists to
   /// shrink; bench/bench_sim_kernel.cpp reports them per step.
   struct Stats {
-    std::uint64_t steps = 0;    ///< rising clock edges executed
+    std::uint64_t steps = 0;    ///< clock-edge events (ticks with edges)
     std::uint64_t settles = 0;  ///< settle() fixpoint searches
     std::uint64_t deltas = 0;   ///< delta cycles across all settles
     std::uint64_t evals = 0;    ///< eval_comb() calls
     std::uint64_t commits = 0;  ///< signal commits (fast or virtual)
     std::uint64_t commit_changes = 0;  ///< commits that changed the value
     std::uint64_t seq_touches = 0;  ///< seq_touch() reports across edges
-    /// Modules NOT re-evaluated immediately after a clock edge thanks to
-    /// the declared sequential-state protocol (the quantity this PR's
-    /// tentpole exists to create; full-sweep and opaque designs keep
-    /// it at 0).
+    /// Modules NOT re-evaluated immediately after a clock-edge event
+    /// thanks to the declared sequential-state protocol (full-sweep and
+    /// opaque designs keep it at 0).
     std::uint64_t seq_skips = 0;
+    /// Domain edges executed (>= steps: domains firing at the same tick
+    /// are one step but several edges; == steps when single-domain).
+    std::uint64_t edges = 0;
+    /// on_clock() calls NOT made because the module is outside the
+    /// firing domain's activation list — the per-edge O(all-modules)
+    /// loop the activation lists eliminated.  Stays 0 single-domain.
+    std::uint64_t act_skips = 0;
+    /// Edges executed per domain, indexed like domain_info().
+    std::vector<std::uint64_t> domain_edges;
+  };
+
+  /// Static description of one resolved clock domain (see domain_count).
+  struct DomainInfo {
+    std::string name;          ///< domain name ("clk" for the default)
+    std::uint64_t period = 1;  ///< ticks between edges
+    std::uint64_t phase = 0;   ///< first edge at phase + period
+    std::size_t modules = 0;   ///< activation-list size
   };
 
   /// Builds a simulator over the design rooted at `top`.  The module
-  /// tree must not change shape afterwards (signals/modules are
+  /// tree must not change shape afterwards (signals/modules/domains are
   /// discovered once, here).  At most one simulator may be bound to a
   /// design at a time; destroy the previous one first.
   explicit Simulator(Module& top) : Simulator(top, Options()) {}
@@ -96,22 +136,21 @@ class Simulator {
   /// Applies on_reset() everywhere, then settles.  Call before stepping.
   void reset();
 
-  /// Advances n rising clock edges.
+  /// Advances n clock-edge events — each one is the next tick at which
+  /// at least one domain has an edge (single-domain: exactly one rising
+  /// clock edge, as ever).
   void step(int n = 1);
 
-  /// Steps until `pred()` is true, at most `max_cycles` edges.  Returns
-  /// the number of edges consumed; throws Error on timeout.  The
-  /// predicate is re-checked after the final step, so a condition that
-  /// becomes true exactly at `max_cycles` is a success, not a timeout.
+  /// Steps until `pred()` is true, at most `max_cycles` edge events.
+  /// Returns the number of events consumed; throws Error on timeout
+  /// with per-domain edge counts in the message.  The predicate is
+  /// re-checked after the final step, so a condition that becomes true
+  /// exactly at `max_cycles` is a success, not a timeout.
   template <typename Pred>
   std::uint64_t run_until(Pred&& pred, std::uint64_t max_cycles) {
     for (std::uint64_t n = 0;; ++n) {
       if (pred()) return n;
-      if (n >= max_cycles)
-        throw Error("run_until: condition not reached within " +
-                    std::to_string(max_cycles) + " cycles in design '" +
-                    top_.name() + "' (at cycle " + std::to_string(cycle_) +
-                    ")");
+      if (n >= max_cycles) throw_run_until_timeout(max_cycles);
       step();
     }
   }
@@ -120,22 +159,53 @@ class Simulator {
   /// tests and for observing post-reset state).
   void settle();
 
-  /// Rising edges executed since construction/reset.
+  /// Clock-edge events executed since construction/reset.
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  /// Current simulation time in ticks (the VCD timestamp of the last
+  /// sample; 0 after reset).
+  [[nodiscard]] std::uint64_t now() const { return tick_; }
+
+  /// Number of resolved clock domains (1 for a fully unassigned tree).
+  [[nodiscard]] std::size_t domain_count() const { return scheds_.size(); }
+  /// Description of domain `i` (order: built-in default first if any
+  /// module uses it, then explicit domains by first appearance in
+  /// elaboration order — the same order Stats::domain_edges uses).
+  [[nodiscard]] DomainInfo domain_info(std::size_t i) const;
 
   [[nodiscard]] const Options& options() const { return opt_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  void reset_stats();
 
   /// Maximum delta iterations per settle before CombLoopError.
   void set_delta_limit(int limit);
 
-  /// Starts dumping a VCD waveform of all hardware signals to `path`.
+  /// Starts dumping a VCD waveform of all hardware signals to `path`
+  /// (timestamps in ticks, $timescale from Options::tick_ps).
   void open_vcd(const std::string& path);
 
  private:
+  /// Per-domain scheduler state: the activation list (modules whose
+  /// on_clock() runs on this domain's edges) and the next edge tick.
+  struct DomainSched {
+    const ClockDomain* domain = nullptr;  ///< nullptr = built-in default
+    std::string name = "clk";
+    std::uint64_t period = 1;
+    std::uint64_t phase = 0;
+    std::uint64_t next_edge = 1;
+    std::vector<Module*> active;  ///< modules clocked by this domain
+    std::vector<Module*> opaque;  ///< active subset without declarations
+  };
+
   void bind();
   void unbind();
+  /// Resolves every module's effective domain (nearest ancestor with an
+  /// explicit assignment, else the built-in default) and builds the
+  /// per-domain activation lists.  Part of bind().
+  void build_domains();
+  std::size_t sched_index_for(const ClockDomain* d);
+  /// Collects into firing_ the domains whose next edge is soonest and
+  /// returns that tick.
+  std::uint64_t collect_next_edges();
   void commit_all(bool* changed);
   void settle_full_sweep();
   void settle_event();
@@ -152,9 +222,13 @@ class Simulator {
       worklist_.push_back(m);
     }
   }
-  /// Runs every on_clock() and schedules the post-edge re-evaluation
-  /// set: fanout of changed register signals (via commit_pending()),
-  /// seq_touch() reporters, and every opaque_state module.
+  /// Runs the on_clock() of every firing domain's activation list and
+  /// accounts the edge counters — shared by both kernels so their
+  /// Stats can never desynchronize.
+  void fire_edges(bool check_contract);
+  /// fire_edges() plus the event kernel's post-edge scheduling: fanout
+  /// of changed register signals (via commit_pending()), seq_touch()
+  /// reporters, and the firing domains' opaque_state modules.
   void clock_edge_event();
   /// Verifies that a declared module's on_clock() only wrote registered
   /// signals (entries pending_[first..]); throws ProtocolError if not.
@@ -162,21 +236,26 @@ class Simulator {
   void mark_vcd_change(SignalBase* s);
   void sample_vcd();
   [[noreturn]] void throw_comb_loop() const;
+  [[noreturn]] void throw_run_until_timeout(std::uint64_t max_cycles) const;
 
   Module& top_;
   Options opt_;
   std::vector<Module*> modules_;
   std::vector<SignalBase*> signals_;
   std::uint64_t cycle_ = 0;
+  std::uint64_t tick_ = 0;
   Stats stats_;
   std::unique_ptr<VcdWriter> vcd_;
+
+  // Tick-ordered edge scheduler state.
+  std::vector<DomainSched> scheds_;
+  std::vector<std::size_t> firing_;  ///< domains firing at the current tick
 
   // Event-driven kernel state.
   std::vector<SignalBase*> pending_;      ///< signals awaiting commit
   std::vector<Module*> worklist_;         ///< dirty modules, next delta
   std::vector<Module*> eval_list_;        ///< dirty modules, this delta
   std::vector<Module*> touched_;          ///< seq_touch() reporters, this edge
-  std::vector<Module*> opaque_modules_;   ///< undeclared: re-eval every edge
   ReadTracer tracer_;
   std::uint64_t eval_stamp_ = 0;          ///< unique id per traced eval
   std::vector<SignalBase*> vcd_changed_;  ///< changed since last sample

@@ -6,9 +6,40 @@
 
 namespace hwpat::rtl {
 
-VcdWriter::VcdWriter(const std::string& path, Module& top) : out_(path) {
+VcdWriter::VcdWriter(const std::string& path, Module& top,
+                     std::uint64_t tick_ps)
+    : out_(path) {
   if (!out_) throw Error("cannot open VCD file: " + path);
-  out_ << "$timescale 1ns $end\n";
+  HWPAT_ASSERT(tick_ps > 0);
+  // IEEE 1364 only allows 1, 10 or 100 of a unit in $timescale, so the
+  // header gets the largest legal quantum dividing the tick and every
+  // timestamp is scaled by the remainder (time_mult_): tick_ps = 40'000
+  // becomes `$timescale 10ns` with timestamps multiplied by 4.  The
+  // default 1000 yields the classic `$timescale 1ns` with mult 1.
+  struct Unit {
+    std::uint64_t ps;
+    const char* name;
+  };
+  static constexpr Unit kUnits[] = {{1'000'000'000'000, "s"},
+                                    {1'000'000'000, "ms"},
+                                    {1'000'000, "us"},
+                                    {1'000, "ns"},
+                                    {1, "ps"}};
+  for (const Unit& u : kUnits) {
+    bool found = false;
+    for (const std::uint64_t mant : {std::uint64_t{100}, std::uint64_t{10},
+                                     std::uint64_t{1}}) {
+      // No overflow: mant * u.ps <= 100e12, well inside uint64.
+      const std::uint64_t quantum = mant * u.ps;
+      if (tick_ps % quantum == 0) {
+        out_ << "$timescale " << mant << u.name << " $end\n";
+        time_mult_ = tick_ps / quantum;
+        found = true;
+        break;
+      }
+    }
+    if (found) break;  // 1ps divides everything: always terminates
+  }
   declare_scope(top);
   out_ << "$enddefinitions $end\n";
 }
@@ -44,11 +75,11 @@ std::string VcdWriter::make_id(std::size_t n) {
   return id;
 }
 
-void VcdWriter::emit(Entry& e, std::uint64_t cycle, bool* stamped) {
-  const Word v = e.sig->as_word();
+void VcdWriter::emit(Entry& e, std::uint64_t tick, bool* stamped) {
+  const Word v = e.sig->as_word_fast();
   if (e.ever && v == e.last) return;
   if (!*stamped) {
-    out_ << "#" << cycle << "\n";
+    out_ << "#" << tick * time_mult_ << "\n";
     *stamped = true;
   }
   if (e.sig->width() == 1) {
@@ -63,12 +94,12 @@ void VcdWriter::emit(Entry& e, std::uint64_t cycle, bool* stamped) {
   e.ever = true;
 }
 
-void VcdWriter::sample(std::uint64_t cycle) {
+void VcdWriter::sample(std::uint64_t tick) {
   bool stamped = false;
-  for (Entry& e : entries_) emit(e, cycle, &stamped);
+  for (Entry& e : entries_) emit(e, tick, &stamped);
 }
 
-void VcdWriter::sample_changed(std::uint64_t cycle,
+void VcdWriter::sample_changed(std::uint64_t tick,
                                const std::vector<SignalBase*>& changed) {
   // Emit in declaration order so the output is byte-identical to the
   // full-scan path (the differential kernel test relies on this).
@@ -84,7 +115,7 @@ void VcdWriter::sample_changed(std::uint64_t cycle,
   std::sort(scratch_.begin(), scratch_.end());
   bool stamped = false;
   for (const int idx : scratch_)
-    emit(entries_[static_cast<std::size_t>(idx)], cycle, &stamped);
+    emit(entries_[static_cast<std::size_t>(idx)], tick, &stamped);
 }
 
 }  // namespace hwpat::rtl

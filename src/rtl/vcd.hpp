@@ -1,8 +1,12 @@
 // Minimal VCD (value change dump) writer for waveform inspection.
 //
-// The simulator calls sample() once per clock edge; only signals whose
-// value changed since the last sample are written.  Testbench signals
-// (width 0) are skipped.
+// The simulator calls sample() once per clock-edge event; only signals
+// whose value changed since the last sample are written.  Testbench
+// signals (width 0) are skipped.  VCD time is the simulator's tick
+// counter, so multi-clock traces place every domain's edges at their
+// true relative offsets; the `$timescale` header translates one tick
+// into physical time (Simulator::Options::tick_ps, default 1 ns — pick
+// the greatest common divisor of the modelled clock periods).
 //
 // Two sampling paths produce byte-identical output:
 //  * sample() scans every declared signal (reference path; also used
@@ -10,6 +14,10 @@
 //  * sample_changed() visits only the signals the event-driven kernel
 //    observed changing since the last sample, found in O(1) through
 //    their dense Simulator-assigned ids.
+//
+// Values are read through SignalBase::as_word_fast(), which statically
+// dispatches the dominant Word/bool signal types instead of paying a
+// virtual as_word() call per sampled signal.
 #pragma once
 
 #include <cstdint>
@@ -24,15 +32,22 @@ namespace hwpat::rtl {
 class VcdWriter {
  public:
   /// Opens `path` and writes the header for the design under `top`.
-  VcdWriter(const std::string& path, Module& top);
+  /// `tick_ps` is the physical duration of one simulator tick in
+  /// picoseconds (must be positive).  The `$timescale` gets the largest
+  /// spec-legal quantum (1, 10 or 100 of a unit — IEEE 1364) dividing
+  /// it, and timestamps are scaled by the remainder, so traces stay
+  /// time-correct for any tick; the default 1000 emits the classic
+  /// `$timescale 1ns` with unscaled timestamps.
+  VcdWriter(const std::string& path, Module& top,
+            std::uint64_t tick_ps = 1000);
 
-  /// Records the state at time `cycle` (one VCD time unit per cycle),
+  /// Records the state at time `tick` (one VCD time unit per tick),
   /// scanning every declared signal.
-  void sample(std::uint64_t cycle);
+  void sample(std::uint64_t tick);
 
   /// Like sample(), but only inspects `changed` (each entry at most
   /// once).  Signals not declared in the header are ignored.
-  void sample_changed(std::uint64_t cycle,
+  void sample_changed(std::uint64_t tick,
                       const std::vector<SignalBase*>& changed);
 
  private:
@@ -44,10 +59,11 @@ class VcdWriter {
   };
 
   void declare_scope(Module& m);
-  void emit(Entry& e, std::uint64_t cycle, bool* stamped);
+  void emit(Entry& e, std::uint64_t tick, bool* stamped);
   static std::string make_id(std::size_t n);
 
   std::ofstream out_;
+  std::uint64_t time_mult_ = 1;  ///< timestamp units per tick (header)
   std::vector<Entry> entries_;
   std::vector<int> entry_by_signal_id_;  ///< dense signal id -> entry, -1 none
   std::vector<int> scratch_;             ///< reused by sample_changed()

@@ -1,0 +1,521 @@
+// Tests of the multi-clock-domain subsystem: the tick-ordered edge
+// scheduler and per-domain activation lists, the dual-clock async FIFO
+// (CDC) device across a sweep of clock ratios, the dual-clock saa2vga
+// design, and the multi-domain diagnostics — each differentially
+// against the full-sweep reference kernel where waveforms are involved.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "designs/design.hpp"
+#include "devices/async_fifo.hpp"
+#include "hdl/emit.hpp"
+#include "meta/codegen.hpp"
+#include "rtl/clock.hpp"
+#include "rtl/simulator.hpp"
+
+namespace hwpat {
+namespace {
+
+using rtl::Bit;
+using rtl::Bus;
+using rtl::ClockDomain;
+using rtl::Module;
+using rtl::Simulator;
+
+constexpr std::uint64_t kMaxCycles = 2'000'000;
+
+std::string slurp_and_remove(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+  return ss.str();
+}
+
+// ------------------------------------------------------------------
+// ClockDomain / Options validation at elaboration
+// ------------------------------------------------------------------
+
+TEST(ClockDomainValidation, RejectsNonPositivePeriod) {
+  EXPECT_THROW(ClockDomain("bad", 0), Error);
+  EXPECT_THROW(ClockDomain("bad", -3), Error);
+}
+
+TEST(ClockDomainValidation, RejectsNegativePhase) {
+  EXPECT_THROW(ClockDomain("bad", 2, -1), Error);
+}
+
+TEST(ClockDomainValidation, RejectsNonPositiveTickDuration) {
+  struct Top : Module {
+    Top() : Module(nullptr, "top") {}
+  } top;
+  EXPECT_THROW(Simulator(top, {.tick_ps = 0}), Error);
+  EXPECT_THROW(Simulator(top, {.tick_ps = -5}), Error);
+}
+
+// ------------------------------------------------------------------
+// Tick scheduler + activation lists
+// ------------------------------------------------------------------
+
+/// A register that counts its own on_clock() invocations — the direct
+/// witness for "modules outside a domain are never visited on its
+/// edges".
+struct EdgeCounter : Module {
+  Bus value{*this, "value", 16};
+  int clock_calls = 0;
+
+  EdgeCounter(Module* parent, std::string name)
+      : Module(parent, std::move(name)) {}
+  void on_clock() override {
+    ++clock_calls;
+    value.write(value.read() + 1);
+  }
+  void on_reset() override { clock_calls = 0; }
+  void declare_state() override { register_seq(value); }
+};
+
+/// Two counters in domains of period 2 and 3 under a period-2 top.
+struct TwoDomainTop : Module {
+  ClockDomain a{"a", 2};
+  ClockDomain b{"b", 3};
+  EdgeCounter ca{this, "ca"};
+  EdgeCounter cb{this, "cb"};
+
+  TwoDomainTop() : Module(nullptr, "top") {
+    set_clock_domain(&a);  // top + ca inherit a
+    cb.set_clock_domain(&b);
+  }
+  void declare_state() override { declare_seq_state(); }
+};
+
+TEST(TickScheduler, ActivationListsVisitOnlyTheFiringDomain) {
+  for (const bool full_sweep : {false, true}) {
+    TwoDomainTop top;
+    Simulator sim(top, {.full_sweep = full_sweep});
+    sim.reset();
+    // Edges up to tick 12: a at 2,4,6,8,10,12 (6); b at 3,6,9,12 (4);
+    // distinct ticks 2,3,4,6,8,9,10,12 = 8 edge events.
+    while (sim.now() < 12) sim.step();
+    EXPECT_EQ(sim.cycle(), 8u);
+    EXPECT_EQ(top.ca.clock_calls, 6);
+    EXPECT_EQ(top.cb.clock_calls, 4);
+    EXPECT_EQ(top.ca.value.read(), 6u);
+    EXPECT_EQ(top.cb.value.read(), 4u);
+    EXPECT_EQ(sim.domain_count(), 2u);
+    EXPECT_EQ(sim.domain_info(0).name, "a");
+    EXPECT_EQ(sim.domain_info(1).name, "b");
+    EXPECT_EQ(sim.domain_info(0).modules, 2u);  // top + ca
+    EXPECT_EQ(sim.domain_info(1).modules, 1u);  // cb
+    ASSERT_EQ(sim.stats().domain_edges.size(), 2u);
+    EXPECT_EQ(sim.stats().domain_edges[0], 6u);
+    EXPECT_EQ(sim.stats().domain_edges[1], 4u);
+    EXPECT_EQ(sim.stats().edges, 10u);
+    // Per a-edge 1 of 3 modules is outside the list, per b-edge 2 of 3.
+    EXPECT_EQ(sim.stats().act_skips, 6u * 1 + 4u * 2);
+  }
+}
+
+TEST(TickScheduler, PhaseOffsetsShiftEdges) {
+  TwoDomainTop top;
+  top.a = ClockDomain("a", 2, 1);  // edges at 3, 5, 7, ...
+  Simulator sim(top);
+  sim.reset();
+  sim.step();  // first event: b at tick 3?  a also at 3: simultaneous.
+  EXPECT_EQ(sim.now(), 3u);
+  EXPECT_EQ(top.ca.clock_calls, 1);
+  EXPECT_EQ(top.cb.clock_calls, 1);
+  sim.step();  // a at 5
+  EXPECT_EQ(sim.now(), 5u);
+  EXPECT_EQ(top.ca.clock_calls, 2);
+  EXPECT_EQ(top.cb.clock_calls, 1);
+}
+
+TEST(TickScheduler, SingleDomainDegeneratesToOneEdgePerStep) {
+  struct Top : Module {
+    EdgeCounter c{this, "c"};
+    Top() : Module(nullptr, "top") {}
+    void declare_state() override { declare_seq_state(); }
+  } top;
+  Simulator sim(top);
+  sim.reset();
+  sim.step(5);
+  EXPECT_EQ(sim.cycle(), 5u);
+  EXPECT_EQ(sim.now(), 5u);  // default domain: period 1, phase 0
+  EXPECT_EQ(sim.domain_count(), 1u);
+  EXPECT_EQ(sim.domain_info(0).name, "clk");
+  EXPECT_EQ(sim.stats().edges, 5u);
+  EXPECT_EQ(sim.stats().act_skips, 0u);
+  ASSERT_EQ(sim.stats().domain_edges.size(), 1u);
+  EXPECT_EQ(sim.stats().domain_edges[0], 5u);
+}
+
+TEST(TickScheduler, RunUntilTimeoutReportsPerDomainEdges) {
+  TwoDomainTop top;
+  Simulator sim(top);
+  sim.reset();
+  try {
+    sim.run_until([] { return false; }, 8);  // exactly to tick 12
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("a=6 (period 2)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("b=4 (period 3)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cycle 8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tick 12"), std::string::npos) << msg;
+  }
+}
+
+// ------------------------------------------------------------------
+// VCD timescale
+// ------------------------------------------------------------------
+
+TEST(VcdTimescale, DerivedFromTickDurationSpecLegally) {
+  // IEEE 1364 allows only 1, 10 or 100 of a unit in $timescale: the
+  // writer must pick the largest legal quantum and scale timestamps by
+  // the remainder, keeping the trace time-correct for any tick.
+  struct Top : Module {
+    Bus x{*this, "x", 8};
+    Top() : Module(nullptr, "top") {}
+    void on_clock() override { x.write(x.read() + 1); }
+    void declare_state() override { register_seq(x); }
+  };
+  const struct {
+    std::int64_t tick_ps;
+    const char* expect;
+    const char* stamp2;  ///< timestamp of the 2nd step's sample
+  } cases[] = {{1000, "$timescale 1ns $end", "#2"},
+               {40'000, "$timescale 10ns $end", "#8"},
+               {1'000'000, "$timescale 1us $end", "#2"},
+               {500, "$timescale 100ps $end", "#10"},
+               {30'000'000, "$timescale 10us $end", "#6"}};
+  for (const auto& c : cases) {
+    Top top;
+    {
+      Simulator sim(top, {.tick_ps = c.tick_ps});
+      sim.open_vcd("ts_test.vcd");
+      sim.reset();
+      sim.step(2);
+    }  // destroying the simulator flushes the VCD stream
+    const std::string vcd = slurp_and_remove("ts_test.vcd");
+    EXPECT_NE(vcd.find(c.expect), std::string::npos)
+        << "tick_ps=" << c.tick_ps << "\n" << vcd;
+    EXPECT_NE(vcd.find(std::string(c.stamp2) + "\n"), std::string::npos)
+        << "tick_ps=" << c.tick_ps << ": scaled timestamp missing\n"
+        << vcd;
+  }
+}
+
+// ------------------------------------------------------------------
+// Async FIFO: clock-ratio sweep, no loss/duplication, kernel parity
+// ------------------------------------------------------------------
+
+/// Deterministic producer/consumer pair around one AsyncFifo.  The
+/// producer (write domain) pushes a known sequence with irregular gaps;
+/// the consumer (read domain) pops with its own stall pattern.  Both
+/// respect the conservative full/empty flags, so the transfer must be
+/// lossless at any clock ratio.
+struct CdcTb : Module {
+  static constexpr int kCount = 200;
+
+  ClockDomain wr_dom;
+  ClockDomain rd_dom;
+  Bit wr_en{*this, "wr_en"}, rd_en{*this, "rd_en"};
+  Bit full{*this, "full"}, empty{*this, "empty"};
+  Bus wr_data{*this, "wr_data", 8}, rd_data{*this, "rd_data", 8};
+  devices::AsyncFifo fifo;
+
+  struct Producer : Module {
+    CdcTb& tb;
+    int sent = 0, t = 0;
+    explicit Producer(CdcTb* parent)
+        : Module(parent, "producer"), tb(*parent) {}
+    void eval_comb() override {
+      const bool want = sent < kCount && (t % 5) != 3;  // irregular gaps
+      tb.wr_en.write(want && !tb.full.read());
+      tb.wr_data.write(static_cast<Word>((0x30 + sent * 7) & 0xFF));
+    }
+    void on_clock() override {
+      ++t;
+      if (tb.wr_en.read()) ++sent;
+      seq_touch();
+    }
+    void on_reset() override { sent = t = 0; }
+    void declare_state() override { declare_seq_state(); }
+  } producer{this};
+
+  struct Consumer : Module {
+    CdcTb& tb;
+    std::vector<Word> got;
+    int t = 0;
+    explicit Consumer(CdcTb* parent)
+        : Module(parent, "consumer"), tb(*parent) {}
+    void eval_comb() override {
+      tb.rd_en.write(!tb.empty.read() && (t % 7) != 5);  // stall pattern
+    }
+    void on_clock() override {
+      ++t;
+      if (tb.rd_en.read()) got.push_back(tb.rd_data.read());
+      seq_touch();
+    }
+    void on_reset() override {
+      t = 0;
+      got.clear();
+    }
+    void declare_state() override { declare_seq_state(); }
+  } consumer{this};
+
+  CdcTb(std::int64_t wr_period, std::int64_t rd_period)
+      : Module(nullptr, "cdc_tb"),
+        wr_dom("wr", wr_period),
+        rd_dom("rd", rd_period),
+        fifo(this, "fifo", {.width = 8, .depth = 8},
+             devices::AsyncFifoPorts{wr_en, wr_data, full, rd_en, rd_data,
+                                     empty},
+             &wr_dom, &rd_dom) {
+    set_clock_domain(&rd_dom);  // comb-only top; any domain works
+    producer.set_clock_domain(&wr_dom);
+    consumer.set_clock_domain(&rd_dom);
+  }
+  void declare_state() override { declare_seq_state(); }
+};
+
+void expect_cdc_lossless(std::int64_t wr_period, std::int64_t rd_period) {
+  const std::string label = "cdc_" + std::to_string(wr_period) + "to" +
+                            std::to_string(rd_period);
+  struct Out {
+    std::vector<Word> got;
+    std::string vcd;
+    Simulator::Stats stats;
+  };
+  auto run = [&](bool full_sweep) {
+    CdcTb tb(wr_period, rd_period);
+    const std::string path = label + (full_sweep ? "_ref.vcd" : "_evt.vcd");
+    Out out;
+    {
+      Simulator sim(tb, {.full_sweep = full_sweep});
+      sim.open_vcd(path);
+      sim.reset();
+      sim.run_until(
+          [&] {
+            return tb.consumer.got.size() ==
+                   static_cast<std::size_t>(CdcTb::kCount);
+          },
+          kMaxCycles);
+      EXPECT_EQ(tb.fifo.size(), 0) << label;
+      out.stats = sim.stats();
+    }  // destroying the simulator flushes the VCD stream
+    out.got = tb.consumer.got;
+    out.vcd = slurp_and_remove(path);
+    return out;
+  };
+  const Out evt = run(false);
+  const Out ref = run(true);
+
+  // No loss, no duplication, no reordering: the exact sent sequence.
+  ASSERT_EQ(evt.got.size(), static_cast<std::size_t>(CdcTb::kCount))
+      << label;
+  for (int i = 0; i < CdcTb::kCount; ++i)
+    ASSERT_EQ(evt.got[static_cast<std::size_t>(i)],
+              static_cast<Word>((0x30 + i * 7) & 0xFF))
+        << label << ": element " << i;
+  EXPECT_EQ(evt.got, ref.got) << label;
+  EXPECT_EQ(evt.vcd, ref.vcd) << label << ": VCD traces differ";
+  EXPECT_LT(evt.stats.evals, ref.stats.evals) << label;
+  EXPECT_EQ(evt.stats.edges, ref.stats.edges) << label;
+  EXPECT_EQ(evt.stats.domain_edges, ref.stats.domain_edges) << label;
+}
+
+TEST(AsyncFifoCdc, LosslessRatio1to1) { expect_cdc_lossless(1, 1); }
+TEST(AsyncFifoCdc, LosslessRatio1to3) { expect_cdc_lossless(1, 3); }
+TEST(AsyncFifoCdc, LosslessRatio3to1) { expect_cdc_lossless(3, 1); }
+TEST(AsyncFifoCdc, LosslessCoprimeRatio3to7) { expect_cdc_lossless(3, 7); }
+
+TEST(AsyncFifoCdc, FlagLatencyIsConservative) {
+  // After one push, empty must stay high on the read side until the
+  // write pointer has crossed the 2-flop synchronizer — and never show
+  // data early.
+  CdcTb tb(1, 1);
+  Simulator sim(tb);
+  sim.reset();
+  EXPECT_TRUE(tb.empty.read());
+  EXPECT_FALSE(tb.full.read());
+  sim.step();  // first push lands at this edge
+  EXPECT_TRUE(tb.empty.read()) << "one sync flop: still hidden";
+  sim.step();
+  EXPECT_TRUE(tb.empty.read()) << "two sync flops: still hidden";
+  sim.step();
+  EXPECT_FALSE(tb.empty.read()) << "pointer crossed: data visible";
+}
+
+TEST(AsyncFifoCdc, StrictModeRaisesOnMisuse) {
+  struct RawTb : Module {
+    Bit wr_en{*this, "wr_en"}, rd_en{*this, "rd_en"};
+    Bit full{*this, "full"}, empty{*this, "empty"};
+    Bus wr_data{*this, "wr_data", 8}, rd_data{*this, "rd_data", 8};
+    devices::AsyncFifo fifo;
+    RawTb()
+        : Module(nullptr, "raw_tb"),
+          fifo(this, "fifo", {.width = 8, .depth = 2},
+               devices::AsyncFifoPorts{wr_en, wr_data, full, rd_en,
+                                       rd_data, empty}) {}
+    void declare_state() override { declare_seq_state(); }
+  };
+  {
+    RawTb tb;
+    Simulator sim(tb);
+    sim.reset();
+    tb.rd_en.write(true);  // read while empty
+    sim.settle();
+    EXPECT_THROW(sim.step(), ProtocolError);
+  }
+  {
+    RawTb tb;
+    Simulator sim(tb);
+    sim.reset();
+    tb.wr_en.write(true);  // push until over depth: write while full
+    sim.settle();
+    EXPECT_THROW(sim.step(8), ProtocolError);
+  }
+}
+
+// ------------------------------------------------------------------
+// Dual-clock saa2vga design
+// ------------------------------------------------------------------
+
+void expect_dualclk_design(std::int64_t pix_period,
+                           std::int64_t mem_period) {
+  const std::string label = "dualclk_" + std::to_string(pix_period) +
+                            "to" + std::to_string(mem_period);
+  const designs::Saa2VgaDualClkConfig cfg{.width = 16, .height = 12,
+                                          .cdc_depth = 8, .frames = 2,
+                                          .pix_period = pix_period,
+                                          .mem_period = mem_period};
+  struct Out {
+    std::uint64_t cycles = 0;
+    std::vector<video::Frame> frames;
+    std::string vcd;
+    Simulator::Stats stats;
+  };
+  auto run = [&](bool full_sweep) {
+    auto d = designs::make_saa2vga_dualclk(cfg);
+    const std::string path = label + (full_sweep ? "_ref.vcd" : "_evt.vcd");
+    Out out;
+    {
+      Simulator sim(*d, {.full_sweep = full_sweep});
+      sim.open_vcd(path);
+      sim.reset();
+      sim.run_until([&] { return d->finished(); }, kMaxCycles);
+      out.cycles = sim.cycle();
+      out.stats = sim.stats();
+    }  // destroying the simulator flushes the VCD stream
+    out.frames = d->sink().frames();
+    out.vcd = slurp_and_remove(path);
+    return out;
+  };
+  const Out evt = run(false);
+  const Out ref = run(true);
+
+  // Zero data loss at this clock ratio: the transported frames are
+  // pixel-exact copies of the camera input.
+  const auto input = designs::camera_frames(cfg.width, cfg.height,
+                                            cfg.frames, cfg.pattern_seed);
+  EXPECT_EQ(evt.frames, input) << label;
+  // Kernel parity, as for every single-clock design.
+  EXPECT_EQ(evt.cycles, ref.cycles) << label;
+  EXPECT_EQ(evt.frames, ref.frames) << label;
+  EXPECT_EQ(evt.vcd, ref.vcd) << label << ": VCD traces differ";
+  EXPECT_LT(evt.stats.evals, ref.stats.evals) << label;
+  EXPECT_EQ(evt.stats.domain_edges, ref.stats.domain_edges) << label;
+  // The activation lists must actually shrink per-edge on_clock work.
+  EXPECT_GT(evt.stats.act_skips, 0u) << label;
+  EXPECT_GT(evt.stats.seq_skips, 0u) << label;
+}
+
+TEST(DualClkDesign, PixelEqualsMemoryClock) { expect_dualclk_design(1, 1); }
+TEST(DualClkDesign, MemoryThreeTimesFaster) { expect_dualclk_design(3, 1); }
+TEST(DualClkDesign, PixelThreeTimesFaster) { expect_dualclk_design(1, 3); }
+TEST(DualClkDesign, CoprimeRatio) { expect_dualclk_design(3, 7); }
+
+// ------------------------------------------------------------------
+// Spec / codegen layer for the CDC device kind
+// ------------------------------------------------------------------
+
+TEST(AsyncFifoSpec, ValidationRules) {
+  meta::ContainerSpec s;
+  s.kind = core::ContainerKind::Queue;
+  s.device = devices::DeviceKind::AsyncFifoCore;
+  s.depth = 16;
+  meta::validate(s);  // power-of-two depth, defaulted methods: fine
+  // A defaulted method set silently drops size...
+  for (meta::Method m : s.effective_methods())
+    EXPECT_NE(m, meta::Method::Size);
+  // ...but asking for it explicitly is an error, as are non-power-of-2
+  // depths and width adaptation across the crossing.
+  s.used_methods = {meta::Method::Size};
+  EXPECT_THROW(meta::validate(s), SpecError);
+  s.used_methods = {meta::Method::Push, meta::Method::Pop};
+  s.depth = 12;
+  EXPECT_THROW(meta::validate(s), SpecError);
+  s.depth = 16;
+  s.elem_bits = 24;
+  s.bus_bits = 8;
+  EXPECT_THROW(meta::validate(s), SpecError);
+}
+
+TEST(AsyncFifoSpec, CodegenEmitsCoreWrapper) {
+  // The generated wrapper is the same renaming entity as the
+  // synchronous FIFO binding: the dual-clock macro (and both of its
+  // clocks) sits outside, connected through the p_* ports.
+  for (const bool read_side : {true, false}) {
+    meta::ContainerSpec s;
+    s.name = read_side ? "rbuffer" : "wbuffer";
+    s.kind = read_side ? core::ContainerKind::ReadBuffer
+                       : core::ContainerKind::WriteBuffer;
+    s.device = devices::DeviceKind::AsyncFifoCore;
+    s.depth = 16;
+    const auto unit = meta::generate_container(s);
+    EXPECT_EQ(unit.entity.name,
+              std::string(read_side ? "rbuffer" : "wbuffer") +
+                  "_async_fifo");
+    EXPECT_NE(unit.entity.find_port("clk"), nullptr);
+    EXPECT_EQ(unit.entity.find_port("wr_clk"), nullptr);
+    EXPECT_EQ(unit.entity.find_port("m_size"), nullptr);
+    if (read_side) {
+      EXPECT_NE(unit.entity.find_port("p_empty"), nullptr);
+      EXPECT_NE(unit.entity.find_port("p_read"), nullptr);
+      EXPECT_EQ(unit.entity.find_port("p_write"), nullptr);
+    } else {
+      EXPECT_NE(unit.entity.find_port("p_full"), nullptr);
+      EXPECT_NE(unit.entity.find_port("p_write"), nullptr);
+      EXPECT_EQ(unit.entity.find_port("p_read"), nullptr);
+    }
+    const std::string v = meta::to_vhdl(unit);
+    EXPECT_NE(v.find("entity " + unit.entity.name), std::string::npos);
+    EXPECT_NE(v.find("end rtl;"), std::string::npos);
+  }
+}
+
+TEST(DualClkDesign, FullyDeclaredAndTwoDomains) {
+  auto d = designs::make_saa2vga_dualclk(
+      {.width = 16, .height = 12, .cdc_depth = 8, .frames = 1});
+  Simulator sim(*d);
+  d->visit([&](const rtl::Module& m) {
+    EXPECT_FALSE(m.opaque_state())
+        << "module '" << m.full_name()
+        << "' has no sequential-state declaration";
+  });
+  EXPECT_EQ(sim.domain_count(), 2u);
+  EXPECT_EQ(sim.domain_info(0).name, "pix");
+  EXPECT_EQ(sim.domain_info(1).name, "mem");
+  sim.reset();
+  sim.run_until([&] { return d->finished(); }, kMaxCycles);
+  EXPECT_GT(sim.stats().seq_skips, 0u);
+}
+
+}  // namespace
+}  // namespace hwpat

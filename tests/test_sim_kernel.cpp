@@ -251,13 +251,17 @@ void expect_device_parity(const std::string& label, int cycles) {
   };
   auto run = [&](bool full_sweep) {
     TB tb;
-    Simulator sim(tb, {.full_sweep = full_sweep});
     const std::string path =
         label + (full_sweep ? "_ref.vcd" : "_evt.vcd");
-    sim.open_vcd(path);
-    sim.reset();
-    sim.step(cycles);
-    return Out{slurp_and_remove(path), sim.stats()};
+    Simulator::Stats stats;
+    {
+      Simulator sim(tb, {.full_sweep = full_sweep});
+      sim.open_vcd(path);
+      sim.reset();
+      sim.step(cycles);
+      stats = sim.stats();
+    }  // destroying the simulator flushes the VCD stream
+    return Out{slurp_and_remove(path), stats};
   };
   const Out evt = run(false);
   const Out ref = run(true);
