@@ -69,6 +69,53 @@ void BM_Saa2VgaDualClk(benchmark::State& state) {
       static_cast<double>(stats.edges));
 }
 
+template <bool FullSweep>
+void BM_Saa2VgaTriClk(benchmark::State& state) {
+  const designs::Saa2VgaTriClkConfig cfg{
+      .width = 32,
+      .height = 24,
+      .cdc_depth = 16,
+      .frames = 1,
+      .cam_period = state.range(0),
+      .mem_period = state.range(1),
+      .pix_period = state.range(2)};
+  std::uint64_t cycles = 0;
+  rtl::Simulator::Stats stats;
+  for (auto _ : state) {
+    auto d = designs::make_saa2vga_triclk(cfg);
+    rtl::Simulator sim(*d, {.full_sweep = FullSweep});
+    sim.reset();
+    sim.run_until([&] { return d->finished(); }, 50'000'000);
+    cycles += sim.cycle();
+    stats.steps += sim.stats().steps;
+    stats.evals += sim.stats().evals;
+    stats.edges += sim.stats().edges;
+    stats.act_skips += sim.stats().act_skips;
+    stats.partition_settles += sim.stats().partition_settles;
+    stats.partition_skips += sim.stats().partition_skips;
+    benchmark::DoNotOptimize(d->sink().pixels_received());
+  }
+  state.counters["steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles"] = benchmark::Counter(
+      static_cast<double>(cycles) / static_cast<double>(state.iterations()));
+  state.counters["evals_per_step"] = benchmark::Counter(
+      static_cast<double>(stats.evals) / static_cast<double>(stats.steps));
+  state.counters["edges_per_step"] = benchmark::Counter(
+      static_cast<double>(stats.edges) / static_cast<double>(stats.steps));
+  state.counters["act_skips_per_edge"] = benchmark::Counter(
+      static_cast<double>(stats.act_skips) /
+      static_cast<double>(stats.edges));
+  // Fraction of (settle, partition) slots skipped as quiet subtrees —
+  // the per-domain settle partitioning at work (0 under full sweep,
+  // which has no partitioned dirty sets).
+  const double slots = static_cast<double>(stats.partition_settles +
+                                           stats.partition_skips);
+  state.counters["partition_skip_frac"] = benchmark::Counter(
+      slots == 0.0 ? 0.0
+                   : static_cast<double>(stats.partition_skips) / slots);
+}
+
 }  // namespace
 
 BENCHMARK(BM_Saa2VgaDualClk<false>)
@@ -81,5 +128,16 @@ BENCHMARK(BM_Saa2VgaDualClk<true>)
     ->Name("saa2vga_dualclk/full_sweep")
     ->Args({1, 1})
     ->Args({3, 1});
+// Tri-clock: camera/memory/pixel periods; 5:2:3 is the pairwise-
+// coprime stress case for the tick-heap edge scheduler and the settle
+// partitions.
+BENCHMARK(BM_Saa2VgaTriClk<false>)
+    ->Name("saa2vga_triclk/event")
+    ->Args({5, 2, 3})
+    ->Args({1, 1, 1})
+    ->Args({2, 1, 2});
+BENCHMARK(BM_Saa2VgaTriClk<true>)
+    ->Name("saa2vga_triclk/full_sweep")
+    ->Args({5, 2, 3});
 // main() comes from benchmark_main (see CMakeLists.txt), as in the
 // other google-benchmark benches.

@@ -45,6 +45,8 @@ struct Counters {
   std::uint64_t seq_skips = 0;
   std::uint64_t edges = 0;      ///< domain edges (== cycles single-clock)
   std::uint64_t act_skips = 0;  ///< activation-list on_clock() skips
+  std::uint64_t partition_settles = 0;  ///< settled per-domain partitions
+  std::uint64_t partition_skips = 0;    ///< quiet partitions left untouched
   std::vector<std::uint64_t> domain_edges;  ///< per domain, "domN" keys
 };
 
@@ -107,6 +109,20 @@ const Scenario kScenarios[] = {
            {.width = 24, .height = 18, .cdc_depth = 16, .frames = 2,
             .pix_period = 3, .mem_period = 7});
      }},
+    // Tri-clock CDC scenarios: three settle partitions chained through
+    // two async FIFOs — the partition_settles/partition_skips counters
+    // are the functional quantities here (quiet-subtree skipping).
+    {"saa2vga_triclk_5to2to3",
+     [] {
+       return designs::make_saa2vga_triclk(
+           {.width = 24, .height = 18, .cdc_depth = 16, .frames = 2});
+     }},
+    {"saa2vga_triclk_1to1to1",
+     [] {
+       return designs::make_saa2vga_triclk(
+           {.width = 24, .height = 18, .cdc_depth = 16, .frames = 2,
+            .cam_period = 1, .mem_period = 1, .pix_period = 1});
+     }},
 };
 
 Counters run_scenario(const Scenario& s) {
@@ -114,9 +130,14 @@ Counters run_scenario(const Scenario& s) {
   rtl::Simulator sim(*d);
   sim.reset();
   sim.run_until([&] { return d->finished(); }, kMaxCycles);
-  return Counters{sim.cycle(),           sim.stats().evals,
-                  sim.stats().commits,   sim.stats().seq_skips,
-                  sim.stats().edges,     sim.stats().act_skips,
+  return Counters{sim.cycle(),
+                  sim.stats().evals,
+                  sim.stats().commits,
+                  sim.stats().seq_skips,
+                  sim.stats().edges,
+                  sim.stats().act_skips,
+                  sim.stats().partition_settles,
+                  sim.stats().partition_skips,
                   sim.stats().domain_edges};
 }
 
@@ -133,7 +154,9 @@ void write_baselines(const std::map<std::string, Counters>& all,
     out << "  \"" << name << "\": {\"cycles\": " << c.cycles
         << ", \"evals\": " << c.evals << ", \"commits\": " << c.commits
         << ", \"seq_skips\": " << c.seq_skips << ", \"edges\": " << c.edges
-        << ", \"act_skips\": " << c.act_skips;
+        << ", \"act_skips\": " << c.act_skips
+        << ", \"partition_settles\": " << c.partition_settles
+        << ", \"partition_skips\": " << c.partition_skips;
     for (std::size_t i = 0; i < c.domain_edges.size(); ++i)
       out << ", \"dom" << i << "\": " << c.domain_edges[i];
     out << "}";
@@ -196,6 +219,8 @@ std::map<std::string, Counters> read_baselines(const std::string& path) {
       else if (key == "seq_skips") c.seq_skips = v;
       else if (key == "edges") c.edges = v;
       else if (key == "act_skips") c.act_skips = v;
+      else if (key == "partition_settles") c.partition_settles = v;
+      else if (key == "partition_skips") c.partition_skips = v;
       else if (key.size() >= 4 && key.size() <= 5 &&
                key.rfind("dom", 0) == 0 &&
                key.find_first_not_of("0123456789", 3) ==
@@ -236,6 +261,8 @@ void print_counters(const std::map<std::string, Counters>& all) {
                      static_cast<double>(c.cycles)
               << "/step) seq_skips=" << c.seq_skips
               << " edges=" << c.edges << " act_skips=" << c.act_skips
+              << " partition_settles=" << c.partition_settles
+              << " partition_skips=" << c.partition_skips
               << " domains=[";
     for (std::size_t i = 0; i < c.domain_edges.size(); ++i)
       std::cout << (i ? " " : "") << c.domain_edges[i];
@@ -299,6 +326,24 @@ int check(const std::string& path) {
     }
     ok &= check_counter(name, "evals", c.evals, it->second.evals);
     ok &= check_counter(name, "commits", c.commits, it->second.commits);
+    // partition_settles gates the per-domain settle partitioning: a
+    // partition waking up spuriously (a stray cross-partition arc, a
+    // module landing in the wrong partition) shows up as more settled
+    // partitions per run even when evals stay inside their slack.
+    ok &= check_counter(name, "partition_settles", c.partition_settles,
+                        it->second.partition_settles);
+    // ...and partition_skips gates it from the other side: quiet
+    // subtrees must KEEP being skipped.
+    const auto min_pskips = static_cast<std::uint64_t>(
+        static_cast<double>(it->second.partition_skips) * (1.0 - kSlack));
+    if (c.partition_skips < min_pskips) {
+      std::cout << "FAIL " << name << ": partition_skips dropped "
+                << it->second.partition_skips << " -> "
+                << c.partition_skips << " (min " << min_pskips
+                << ") — per-domain settle partitioning partially "
+                   "disengaged\n";
+      ok = false;
+    }
     // act_skips gates the activation lists staying engaged: a module
     // leaking into every domain's list shows up as fewer skips.
     const auto min_act = static_cast<std::uint64_t>(

@@ -8,18 +8,42 @@
 #
 # The build directory defaults to ./build and must already be
 # configured/built (tier-1 verify does that).
+#
+# Every expected bench binary is checked up front: a missing one fails
+# the whole run and prints the full expected list, so a bench silently
+# dropped from the build (a CMake glob change, google-benchmark absent
+# on the runner) can never turn this CI step into a green no-op.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
+# The two google-benchmark programs this script runs for the JSON perf
+# trajectory, plus the standalone bench programs the build must also
+# have produced (bench_stats_gate is the CI perf gate).
+json_benches="bench_sim_kernel bench_multiclock"
+other_benches="bench_stats_gate bench_ablation bench_designspace \
+bench_fig3_pipeline bench_fig4_fig5_codegen bench_overhead_cycles \
+bench_table1_matrix bench_table3_resources bench_width_adaptation"
+
+missing=""
+for bench in $json_benches $other_benches; do
+  [ -x "$build_dir/$bench" ] || missing="$missing $bench"
+done
+if [ -n "$missing" ]; then
+  echo "error: missing bench binaries in $build_dir:$missing" >&2
+  echo "expected binaries:" >&2
+  for bench in $json_benches $other_benches; do
+    echo "  $bench" >&2
+  done
+  echo "build them with: cmake -B build -S . && cmake --build build -j" >&2
+  echo "(the JSON benches additionally need google-benchmark installed)" >&2
+  exit 1
+fi
+
 run_one() {
   bench="$build_dir/$1"
   out="$repo_root/$2"
-  if [ ! -x "$bench" ]; then
-    echo "error: $bench not built (run: cmake -B build -S . && cmake --build build -j)" >&2
-    exit 1
-  fi
   "$bench" \
     --benchmark_format=console \
     --benchmark_out="$out" \

@@ -6,6 +6,7 @@
 #include "designs/saa2vga_custom.hpp"
 #include "designs/saa2vga_dualclk.hpp"
 #include "designs/saa2vga_pattern.hpp"
+#include "designs/saa2vga_triclk.hpp"
 
 namespace hwpat::designs {
 
@@ -41,6 +42,11 @@ std::unique_ptr<VideoDesign> make_blur_custom(const BlurConfig& cfg) {
 std::unique_ptr<VideoDesign> make_saa2vga_dualclk(
     const Saa2VgaDualClkConfig& cfg) {
   return std::make_unique<Saa2VgaDualClk>(cfg);
+}
+
+std::unique_ptr<VideoDesign> make_saa2vga_triclk(
+    const Saa2VgaTriClkConfig& cfg) {
+  return std::make_unique<Saa2VgaTriClk>(cfg);
 }
 
 }  // namespace hwpat::designs

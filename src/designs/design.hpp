@@ -64,6 +64,28 @@ struct Saa2VgaDualClkConfig {
   std::int64_t mem_phase = 0;
 };
 
+/// saa2vga across THREE clock domains (see saa2vga_triclk.hpp): the
+/// camera/decoder on its own camera clock, the copy loop on the memory
+/// clock, the VGA coder on the pixel clock, chained through two async
+/// FIFOs (camera→memory and memory→pixel).  Periods/phases are in
+/// scheduler ticks; the defaults are the pairwise-coprime 5:2:3 ratio
+/// (slow camera, fastest memory), so no two domains ever stay edge-
+/// aligned for long — the stress case for the tick-heap scheduler and
+/// the per-domain settle partitions.
+struct Saa2VgaTriClkConfig {
+  int width = 64;
+  int height = 48;
+  int cdc_depth = 16;  ///< async-FIFO capacity; power of two, >= 2
+  int frames = 1;
+  unsigned pattern_seed = 1;
+  std::int64_t cam_period = 5;
+  std::int64_t mem_period = 2;
+  std::int64_t pix_period = 3;
+  std::int64_t cam_phase = 0;
+  std::int64_t mem_phase = 0;
+  std::int64_t pix_phase = 0;
+};
+
 /// saa2vga, pattern-based (rows 1-2 of Table 3; device selects which).
 [[nodiscard]] std::unique_ptr<VideoDesign> make_saa2vga_pattern(
     const Saa2VgaConfig& cfg);
@@ -80,6 +102,10 @@ struct Saa2VgaDualClkConfig {
 /// by async FIFOs).
 [[nodiscard]] std::unique_ptr<VideoDesign> make_saa2vga_dualclk(
     const Saa2VgaDualClkConfig& cfg);
+/// saa2vga, pattern-based, tri-clock (camera + memory + pixel domains
+/// chained through two async FIFOs).
+[[nodiscard]] std::unique_ptr<VideoDesign> make_saa2vga_triclk(
+    const Saa2VgaTriClkConfig& cfg);
 
 /// The frame sequence both versions of a design are fed with.
 [[nodiscard]] std::vector<video::Frame> camera_frames(int w, int h,

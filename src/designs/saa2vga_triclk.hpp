@@ -1,0 +1,80 @@
+// saa2vga, tri-clock: the pattern-based pipeline of Fig. 3 split across
+// the three clocks a full capture board has — the camera/decoder clock,
+// the (fastest) memory/processing clock, and the VGA pixel clock:
+//
+//   camera domain:  decoder ──► rbuffer
+//                                (CDC)
+//   memory domain:        ══it══► copy ══it══►
+//                                            (CDC)
+//   pixel domain:                     wbuffer ──► vga
+//
+// The model is still the *same* CopyFsm + iterator pair as the
+// single-clock Saa2VgaPattern: only the spec layer changed — both
+// buffers bound to DeviceKind::AsyncFifoCore with a different domain on
+// each side, chaining two clock-domain crossings back to back.  That is
+// the paper's reuse claim at its strongest: retargeting the pipeline
+// from one clock to three touches zero model code.
+//
+// End-to-end backpressure (decoder respects `full`, vga pops on
+// `!empty`) keeps the pipeline lossless at *any* ratio of the three
+// periods; the default 5:2:3 camera:memory:pixel ratio is pairwise
+// coprime, so edges almost never align — the stress case for the
+// tick-heap edge scheduler and for the per-domain settle partitions
+// (an edge of one clock leaves the other two domains' quiet subtrees
+// untouched: Stats::partition_skips > 0 is asserted in the tests and
+// gated in bench/baselines.json).
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "core/iterator.hpp"
+#include "designs/design.hpp"
+#include "meta/factory.hpp"
+#include "rtl/clock.hpp"
+
+namespace hwpat::designs {
+
+class Saa2VgaTriClk : public VideoDesign {
+ public:
+  explicit Saa2VgaTriClk(const Saa2VgaTriClkConfig& cfg);
+
+  void eval_comb() override;
+  // Pure combinational top (drives the constant start strobe only).
+  void declare_state() override { declare_seq_state(); }
+
+  [[nodiscard]] const video::VgaSink& sink() const override {
+    return vga_;
+  }
+  [[nodiscard]] const video::VideoSource& source() const override {
+    return src_;
+  }
+  [[nodiscard]] bool finished() const override;
+
+  [[nodiscard]] const rtl::ClockDomain& cam_domain() const {
+    return cam_dom_;
+  }
+  [[nodiscard]] const rtl::ClockDomain& mem_domain() const {
+    return mem_dom_;
+  }
+  [[nodiscard]] const rtl::ClockDomain& pix_domain() const {
+    return pix_dom_;
+  }
+
+ private:
+  Saa2VgaTriClkConfig cfg_;
+  rtl::ClockDomain cam_dom_;
+  rtl::ClockDomain mem_dom_;
+  rtl::ClockDomain pix_dom_;
+  rtl::Bit sof_;
+  core::StreamWires rb_w_, wb_w_;
+  core::IterWires in_iw_, out_iw_;
+  core::AlgoWires ctl_;
+  std::unique_ptr<core::Container> rbuf_;
+  std::unique_ptr<core::Container> wbuf_;
+  std::unique_ptr<core::Iterator> it_in_;
+  std::unique_ptr<core::Iterator> it_out_;
+  std::unique_ptr<core::CopyFsm> copy_;
+  video::VideoSource src_;
+  video::VgaSink vga_;
+};
+
+}  // namespace hwpat::designs

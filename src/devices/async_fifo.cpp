@@ -148,6 +148,12 @@ AsyncFifo::AsyncFifo(Module* parent, std::string name, AsyncFifoConfig cfg,
   HWPAT_ASSERT(cfg_.width >= 1 && cfg_.width <= kMaxBusBits);
   HWPAT_ASSERT(cfg_.depth >= 2 && (cfg_.depth & (cfg_.depth - 1)) == 0 &&
                "gray-coded pointers need a power-of-two depth");
+  // The gray pointers are the declared clock-domain-crossing points:
+  // each is written in one side's domain and sampled by the *other*
+  // side's 2-flop synchronizer — the only register signals the CDC-arc
+  // contract (src/rtl/README.md) allows to cross a settle partition.
+  wptr_gray_.mark_cdc_cross();
+  rptr_gray_.mark_cdc_cross();
   wr_ = std::make_unique<WriteSide>(this);
   rd_ = std::make_unique<ReadSide>(this);
   wr_->set_clock_domain(wr_domain);

@@ -14,6 +14,12 @@ ClockDomain::ClockDomain(std::string name, std::int64_t period,
   if (phase < 0)
     throw Error("clock domain '" + name_ + "': phase must be >= 0, got " +
                 std::to_string(phase) + " ticks");
+  if (phase >= period)
+    throw Error("clock domain '" + name_ + "': phase must be < period, got "
+                "phase " + std::to_string(phase) + " with period " +
+                std::to_string(period) +
+                " ticks (a phase of k*period + r is the same edge train as "
+                "phase r — spell it that way)");
   period_ = static_cast<std::uint64_t>(period);
   phase_ = static_cast<std::uint64_t>(phase);
 }

@@ -29,8 +29,10 @@ class ClockDomain {
  public:
   /// Creates a domain producing edges every `period` ticks starting at
   /// tick `phase + period`.  Throws Error at construction (elaboration)
-  /// for a zero/negative period or a negative phase — a non-positive
-  /// period would otherwise make the tick scheduler loop forever.
+  /// for a zero/negative period (it would make the tick scheduler loop
+  /// forever), a negative phase, or a phase >= period (the edge train
+  /// of phase k*period + r is identical to phase r — spell it that
+  /// way, so a phase always reads as a sub-period offset).
   ClockDomain(std::string name, std::int64_t period, std::int64_t phase = 0);
 
   [[nodiscard]] const std::string& name() const { return name_; }

@@ -32,9 +32,11 @@ std::string Module::full_name() const {
 }
 
 void Module::set_clock_domain(const ClockDomain* d) {
-  HWPAT_ASSERT(sim_id_ < 0 &&
-               "clock domains are resolved at elaboration; unbind the "
-               "simulator before reassigning");
+  if (sim_id_ >= 0)
+    throw Error("module '" + full_name() +
+                "': set_clock_domain() while bound to a simulator — clock "
+                "domains are resolved once, at elaboration; destroy the "
+                "simulator before reassigning");
   domain_ = d;
 }
 

@@ -50,7 +50,8 @@ class Module {
   /// the assignment back to "inherit").  The domain object is owned by
   /// the design, like modules themselves; it must outlive every
   /// Simulator bound to this tree.  Must be called while unbound:
-  /// domains are resolved once, at elaboration.
+  /// domains are resolved once, at elaboration — calling this while a
+  /// Simulator is bound throws Error.
   void set_clock_domain(const ClockDomain* d);
   /// The explicit assignment on this module (nullptr = inherit from the
   /// parent; a fully unassigned tree runs in the simulator's built-in
@@ -90,6 +91,10 @@ class Module {
   /// True when this module made no sequential-state declaration (the
   /// conservative fallback).  Meaningful while bound to a Simulator.
   [[nodiscard]] bool opaque_state() const { return !seq_declared_; }
+  /// Domain-affinity partition resolved by the binding Simulator
+  /// (indexed like Simulator::domain_info(); the effective clock
+  /// domain after inheritance).  -1 while unbound.
+  [[nodiscard]] int partition() const { return part_; }
   /// Register signals declared via register_seq(); empty while unbound.
   [[nodiscard]] const std::vector<SignalBase*>& seq_signals() const {
     return seq_signals_;
@@ -140,6 +145,7 @@ class Module {
 
   // --- state owned by the binding Simulator (see simulator.cpp) ---
   int sim_id_ = -1;          ///< dense id in elaboration order, -1 = unbound
+  std::int16_t part_ = -1;   ///< domain-affinity partition, -1 = unbound
   bool comb_dirty_ = false;  ///< on the simulator's dirty-module worklist
   bool seq_declared_ = false;  ///< declare_state() made a declaration
   bool seq_touched_ = false;   ///< on the simulator's touched list

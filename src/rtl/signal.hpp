@@ -85,6 +85,21 @@ class SignalBase {
     return fanout_;
   }
 
+  /// Domain-affinity partition assigned by the binding Simulator
+  /// (indexed like Simulator::domain_info()): the writer's partition
+  /// for declared register signals, the owning module's partition
+  /// otherwise.  -1 while unbound.
+  [[nodiscard]] int partition() const { return part_; }
+
+  /// Declares this signal as a sanctioned clock-domain-crossing point
+  /// (an async-FIFO gray pointer feeding another domain's
+  /// synchronizer).  Part of the design, not of a simulator binding:
+  /// call it at construction, like wiring.  The CDC-arc contract
+  /// (src/rtl/README.md) is that marked signals are the *only* register
+  /// signals read across partitions.
+  void mark_cdc_cross() { cdc_cross_ = true; }
+  [[nodiscard]] bool cdc_cross() const { return cdc_cross_; }
+
   /// Storage type tag (devirtualized commit dispatch — see commit_fast).
   [[nodiscard]] SigKind kind() const { return kind_; }
 
@@ -131,9 +146,13 @@ class SignalBase {
   std::string name_;
   int width_;
   SigKind kind_;
+  bool cdc_cross_ = false;  ///< declared CDC crossing point (mark_cdc_cross)
 
   // --- state owned by the binding Simulator (see simulator.cpp) ---
   int id_ = -1;                            ///< dense id, -1 = unbound
+  std::int16_t part_ = -1;                 ///< domain-affinity partition
+                                           ///< (16 bits: fills padding,
+                                           ///< keeps hot fields' layout)
   bool pending_ = false;                   ///< on the pending-commit list
   bool vcd_mark_ = false;                  ///< on the changed-since-sample list
   std::uint64_t read_stamp_ = 0;           ///< ReadTracer dedup marker

@@ -44,6 +44,13 @@ void Simulator::bind() {
     s->last_reader_ = nullptr;
     s->queue_ = opt_.full_sweep ? nullptr : &pending_;
   }
+  // Signal domain-affinity: the owner module's partition by default,
+  // refined to the *writer's* partition for declared register signals
+  // (the declaring module is the writer of its registers).  Resolved
+  // here, at elaboration, like the module partitions themselves.
+  for (SignalBase* s : signals_) s->part_ = s->owner().part_;
+  for (Module* m : modules_)
+    for (SignalBase* s : m->seq_signals_) s->part_ = m->part_;
   if (!opt_.full_sweep) {
     // Writes made before binding never reached the pending list, and no
     // sensitivity is known yet: make the first settle a full one.
@@ -85,12 +92,46 @@ void Simulator::build_domains() {
     scheds_[di].active.push_back(m);
     if (!opt_.full_sweep && m->opaque_state())
       scheds_[di].opaque.push_back(m);
+    // The settle partition IS the domain: one dirty worklist per domain.
+    HWPAT_ASSERT(di <= INT16_MAX);
+    m->part_ = static_cast<std::int16_t>(di);
+  }
+  parts_.assign(scheds_.size(), Partition{});
+  dirty_parts_.clear();
+  single_part_ = scheds_.size() == 1;
+  build_edge_heap();
+}
+
+void Simulator::build_edge_heap() {
+  heap_.resize(scheds_.size());
+  for (std::size_t i = 0; i < heap_.size(); ++i) heap_[i] = i;
+  std::make_heap(heap_.begin(), heap_.end(), EdgeLater{&scheds_});
+}
+
+std::uint64_t Simulator::pop_due_edges() {
+  HWPAT_ASSERT(!heap_.empty());
+  firing_.clear();
+  const std::uint64_t t = scheds_[heap_.front()].next_edge;
+  while (!heap_.empty() && scheds_[heap_.front()].next_edge == t) {
+    std::pop_heap(heap_.begin(), heap_.end(), EdgeLater{&scheds_});
+    firing_.push_back(heap_.back());
+    heap_.pop_back();
+  }
+  return t;
+}
+
+void Simulator::rearm_fired_edges() {
+  for (const std::size_t di : firing_) {
+    scheds_[di].next_edge += scheds_[di].period;
+    heap_.push_back(di);
+    std::push_heap(heap_.begin(), heap_.end(), EdgeLater{&scheds_});
   }
 }
 
 void Simulator::unbind() {
   for (Module* m : modules_) {
     m->sim_id_ = -1;
+    m->part_ = -1;
     m->comb_dirty_ = false;
     m->seq_declared_ = false;
     m->seq_touched_ = false;
@@ -99,6 +140,7 @@ void Simulator::unbind() {
   }
   for (SignalBase* s : signals_) {
     s->id_ = -1;
+    s->part_ = -1;
     s->pending_ = false;
     s->vcd_mark_ = false;
     s->read_stamp_ = 0;
@@ -221,21 +263,77 @@ void Simulator::commit_pending() {
 
 void Simulator::settle_event() {
   commit_pending();
-  for (int iter = 0; !worklist_.empty(); ++iter) {
+  // One settle = a global delta fixpoint, but the worklists are
+  // partitioned by clock domain: each delta visits only the partitions
+  // holding dirty modules, and a partition never reached from the
+  // firing domains' dirty sets (through fanout arcs — cross-partition
+  // ones are the CDC boundary, by the contract in README.md) is never
+  // even looked at.  The per-delta eval set is identical to the former
+  // single-worklist loop, so both kernels' semantics and the
+  // pre-existing counters are unchanged; partition_settles /
+  // partition_skips make the skipped quiet subtrees measurable.
+  if (single_part_) {
+    // Single-domain fast path: one partition, no bucketing to do (and
+    // mark_module_dirty() maintains no dirty_parts_ either) — the
+    // per-delta loop must stay as lean as before partitioning (a full
+    // step is ~200 ns on the flagship design; every swap counts).
+    Partition& p = parts_[0];
+    if (p.worklist.empty()) {
+      ++stats_.partition_skips;
+      return;
+    }
+    ++stats_.partition_settles;
+    for (int iter = 0; !p.worklist.empty(); ++iter) {
+      if (iter >= opt_.delta_limit) throw_comb_loop();
+      ++stats_.deltas;
+      eval_list_.swap(p.worklist);
+      for (Module* m : eval_list_) {
+        m->comb_dirty_ = false;
+        eval_traced(m);
+      }
+      eval_list_.clear();
+      commit_pending();
+    }
+    return;
+  }
+  ++settle_seq_;
+  std::uint64_t touched = 0;
+  for (int iter = 0; !dirty_parts_.empty(); ++iter) {
     if (iter >= opt_.delta_limit) throw_comb_loop();
     ++stats_.deltas;
-    eval_list_.swap(worklist_);
-    for (Module* m : eval_list_) {
-      m->comb_dirty_ = false;
-      eval_traced(m);
+    active_parts_.swap(dirty_parts_);
+    for (const std::size_t pi : active_parts_) {
+      Partition& p = parts_[pi];
+      p.queued = false;
+      if (p.settle_seen != settle_seq_) {
+        p.settle_seen = settle_seq_;
+        ++touched;
+      }
+      // All marks happen inside commit_pending() below, never during
+      // evaluation, so swapping each worklist out per delta is safe.
+      eval_list_.swap(p.worklist);
+      for (Module* m : eval_list_) {
+        m->comb_dirty_ = false;
+        eval_traced(m);
+      }
+      eval_list_.clear();
     }
-    eval_list_.clear();
+    active_parts_.clear();
     commit_pending();
   }
+  stats_.partition_settles += touched;
+  stats_.partition_skips += parts_.size() - touched;
 }
 
 void Simulator::mark_all_modules_dirty() {
   for (Module* m : modules_) mark_module_dirty(m);
+}
+
+std::size_t Simulator::dirty_module_count() const {
+  if (single_part_) return parts_[0].worklist.size();
+  std::size_t n = 0;
+  for (const std::size_t pi : dirty_parts_) n += parts_[pi].worklist.size();
+  return n;
 }
 
 void Simulator::check_seq_writes(const Module* m, std::size_t first) const {
@@ -288,23 +386,12 @@ void Simulator::clock_edge_event() {
   // edge of their own domain.
   for (const std::size_t di : firing_)
     for (Module* m : scheds_[di].opaque) mark_module_dirty(m);
-  stats_.seq_skips += modules_.size() - worklist_.size();
+  stats_.seq_skips += modules_.size() - dirty_module_count();
 }
 
 // ---------------------------------------------------------------------
 // Common driver
 // ---------------------------------------------------------------------
-
-std::uint64_t Simulator::collect_next_edges() {
-  HWPAT_ASSERT(!scheds_.empty());
-  firing_.clear();
-  std::uint64_t t = scheds_[0].next_edge;
-  for (std::size_t i = 1; i < scheds_.size(); ++i)
-    t = std::min(t, scheds_[i].next_edge);
-  for (std::size_t i = 0; i < scheds_.size(); ++i)
-    if (scheds_[i].next_edge == t) firing_.push_back(i);
-  return t;
-}
 
 void Simulator::settle() {
   ++stats_.settles;
@@ -319,11 +406,17 @@ void Simulator::reset() {
   cycle_ = 0;
   tick_ = 0;
   for (DomainSched& ds : scheds_) ds.next_edge = ds.phase + ds.period;
+  build_edge_heap();
   // Clear any scheduler state left by writes since the last settle (or
   // by a CombLoopError unwind): reset_value() bypasses write(), so stale
   // pending entries would otherwise commit garbage later.
   pending_.clear();
-  worklist_.clear();
+  for (Partition& p : parts_) {
+    p.worklist.clear();
+    p.queued = false;
+  }
+  dirty_parts_.clear();
+  active_parts_.clear();
   eval_list_.clear();
   touched_.clear();
   for (SignalBase* s : signals_) {
@@ -349,17 +442,46 @@ void Simulator::reset() {
 }
 
 void Simulator::step(int n) {
+  // Single-domain fast path: the heap is a 1-element formality (its
+  // order is trivially maintained by bumping next_edge in place), and
+  // on a throw nothing was popped, so retrying re-fires the same tick
+  // with no unwinding bookkeeping at all.
+  const bool single = single_part_;
   for (int i = 0; i < n; ++i) {
     settle();
-    tick_ = collect_next_edges();
-    if (opt_.full_sweep) {
-      fire_edges(false);  // the contract check is event-kernel-only
-      commit_all(nullptr);
+    if (single) {
+      // firing_ stays {0} forever in single mode: nothing else writes
+      // it (pop_due_edges is never called), so fill it exactly once.
+      if (firing_.empty()) firing_.push_back(0);
+      tick_ = scheds_[0].next_edge;
     } else {
-      clock_edge_event();
+      tick_ = pop_due_edges();
     }
-    for (const std::size_t di : firing_)
-      scheds_[di].next_edge += scheds_[di].period;
+    try {
+      if (opt_.full_sweep) {
+        fire_edges(false);  // the contract check is event-kernel-only
+        commit_all(nullptr);
+      } else {
+        clock_edge_event();
+      }
+    } catch (...) {
+      // Push the popped edges back un-advanced, so a caught throw (a
+      // strict device raising ProtocolError) leaves the heap
+      // consistent and a retried step() re-fires the same tick — the
+      // behaviour of the stateless linear scan the heap replaced.
+      if (!single) {
+        for (const std::size_t di : firing_) {
+          heap_.push_back(di);
+          std::push_heap(heap_.begin(), heap_.end(), EdgeLater{&scheds_});
+        }
+      }
+      throw;
+    }
+    if (single) {
+      scheds_[0].next_edge += scheds_[0].period;
+    } else {
+      rearm_fired_edges();
+    }
     settle();
     ++cycle_;
     ++stats_.steps;

@@ -2,8 +2,9 @@
 //
 // Time is an integer *tick* counter.  Each clock domain (rtl/clock.hpp)
 // produces rising edges at ticks phase + k*period; one step() advances
-// to the next tick with at least one edge and executes every edge
-// scheduled there:
+// to the next tick with at least one edge — found through a
+// tick-ordered binary heap of next-edge events, O(log D) in the domain
+// count D — and executes every edge scheduled there:
 //   1. settle combinational logic to a fixpoint (delta cycles),
 //   2. run the on_clock() of every module on the firing domains'
 //      *activation lists* on the settled values,
@@ -28,11 +29,19 @@
 // differentially):
 //
 //  * event-driven (default): write() enqueues signals on a
-//    pending-commit list; settle() drains a dirty-module worklist seeded
-//    from the fanout of committed signals.  Module sensitivity is
-//    discovered dynamically by tracing which signals each eval_comb()
-//    reads (starting with an instrumented elaboration settle and kept
-//    up to date on every evaluation, so data-dependent reads are safe).
+//    pending-commit list; settle() drains per-domain dirty-module
+//    worklists seeded from the fanout of committed signals.  The
+//    worklists are *partitioned by clock domain* (every module carries
+//    a domain-affinity partition resolved at elaboration): a settle
+//    visits only the partitions reachable from the firing domains'
+//    dirty sets, so an edge in one domain leaves another domain's quiet
+//    subtree entirely untouched (Stats::partition_settles /
+//    partition_skips account for it; semantics are unchanged because
+//    the per-delta eval set is the same, merely bucketed).  Module
+//    sensitivity is discovered dynamically by tracing which signals
+//    each eval_comb() reads (starting with an instrumented elaboration
+//    settle and kept up to date on every evaluation, so data-dependent
+//    reads are safe).
 //    After a clock edge, modules that declared their sequential state
 //    (Module::declare_state(): register_seq() signals + seq_touch()
 //    reports) are re-evaluated only when a register signal they read
@@ -113,6 +122,16 @@ class Simulator {
     /// firing domain's activation list — the per-edge O(all-modules)
     /// loop the activation lists eliminated.  Stays 0 single-domain.
     std::uint64_t act_skips = 0;
+    /// Per-domain dirty partitions actually settled: one count per
+    /// (settle, partition-with-dirty-modules) pair in the event kernel.
+    /// Full-sweep keeps it at 0 (it has no dirty sets to partition).
+    std::uint64_t partition_settles = 0;
+    /// Partitions left untouched by a settle because nothing reachable
+    /// from the firing domains' dirty sets lives there — the quiet
+    /// subtrees the per-domain partitioning exists to skip.  Stays low
+    /// single-domain (only fully quiet settles count); grows with
+    /// domain count.  Full-sweep keeps it at 0.
+    std::uint64_t partition_skips = 0;
     /// Edges executed per domain, indexed like domain_info().
     std::vector<std::uint64_t> domain_edges;
   };
@@ -196,21 +215,43 @@ class Simulator {
     std::vector<Module*> opaque;  ///< active subset without declarations
   };
 
+  /// Heap order for the tick-ordered edge scheduler: a min-heap on
+  /// (next_edge, domain index) via std::*_heap's max-heap convention.
+  /// The index tiebreak makes simultaneous edges pop in domain order,
+  /// exactly like the linear scan the heap replaced.
+  struct EdgeLater {
+    const std::vector<DomainSched>* scheds;
+    bool operator()(std::size_t a, std::size_t b) const {
+      const std::uint64_t ta = (*scheds)[a].next_edge;
+      const std::uint64_t tb = (*scheds)[b].next_edge;
+      return ta != tb ? ta > tb : a > b;
+    }
+  };
+
   void bind();
   void unbind();
   /// Resolves every module's effective domain (nearest ancestor with an
-  /// explicit assignment, else the built-in default) and builds the
-  /// per-domain activation lists.  Part of bind().
+  /// explicit assignment, else the built-in default), builds the
+  /// per-domain activation lists, and stamps every module's
+  /// domain-affinity partition.  Part of bind().
   void build_domains();
   std::size_t sched_index_for(const ClockDomain* d);
-  /// Collects into firing_ the domains whose next edge is soonest and
-  /// returns that tick.
-  std::uint64_t collect_next_edges();
+  /// Rebuilds the tick-ordered edge heap from the scheds_' next_edge
+  /// fields (bind and reset).
+  void build_edge_heap();
+  /// Pops every domain due at the soonest tick off the edge heap into
+  /// firing_ (ascending domain index) and returns that tick — O(log D)
+  /// per popped edge instead of the former linear scan over domains.
+  std::uint64_t pop_due_edges();
+  /// Re-arms the popped domains one period later and pushes them back
+  /// onto the edge heap.
+  void rearm_fired_edges();
   void commit_all(bool* changed);
   void settle_full_sweep();
   void settle_event();
   /// Commits every signal on the pending list; fanout modules of signals
-  /// whose value changed are pushed onto the dirty worklist.
+  /// whose value changed are pushed onto their partition's dirty
+  /// worklist.
   void commit_pending();
   /// Runs one eval_comb() under the read tracer and folds newly observed
   /// reads into the signals' fanout lists.
@@ -219,9 +260,20 @@ class Simulator {
   void mark_module_dirty(Module* m) {
     if (!m->comb_dirty_) {
       m->comb_dirty_ = true;
-      worklist_.push_back(m);
+      if (single_part_) {  // one partition: no bucketing bookkeeping
+        parts_[0].worklist.push_back(m);
+        return;
+      }
+      Partition& p = parts_[static_cast<std::size_t>(m->part_)];
+      p.worklist.push_back(m);
+      if (!p.queued) {
+        p.queued = true;
+        dirty_parts_.push_back(static_cast<std::size_t>(m->part_));
+      }
     }
   }
+  /// Modules currently on a dirty worklist, summed over partitions.
+  [[nodiscard]] std::size_t dirty_module_count() const;
   /// Runs the on_clock() of every firing domain's activation list and
   /// accounts the edge counters — shared by both kernels so their
   /// Stats can never desynchronize.
@@ -247,13 +299,33 @@ class Simulator {
   Stats stats_;
   std::unique_ptr<VcdWriter> vcd_;
 
-  // Tick-ordered edge scheduler state.
+  // Tick-ordered edge scheduler state.  heap_ is a binary min-heap of
+  // domain indices ordered by (next_edge, index) — index as tiebreak so
+  // simultaneous edges pop in domain order, exactly like the linear
+  // scan it replaced.
   std::vector<DomainSched> scheds_;
+  std::vector<std::size_t> heap_;
   std::vector<std::size_t> firing_;  ///< domains firing at the current tick
+
+  /// Per-domain dirty partition of the combinational settle: each
+  /// domain's modules form one partition (Module::partition()), with a
+  /// worklist of its own.  A settle drains only partitions reachable
+  /// from the firing domains' dirty sets — cross-partition fanout arcs
+  /// (the async-FIFO CDC boundary, by the contract in README.md) wake a
+  /// foreign partition; everything else leaves it untouched.
+  struct Partition {
+    std::vector<Module*> worklist;  ///< dirty modules, next delta
+    bool queued = false;            ///< on dirty_parts_
+    std::uint64_t settle_seen = 0;  ///< last settle_seq_ that touched it
+  };
+  std::vector<Partition> parts_;           ///< indexed like scheds_
+  std::vector<std::size_t> dirty_parts_;   ///< partitions with dirty modules
+  std::vector<std::size_t> active_parts_;  ///< partitions in this delta
+  std::uint64_t settle_seq_ = 0;           ///< unique id per settle_event()
+  bool single_part_ = true;  ///< one partition: skip bucketing bookkeeping
 
   // Event-driven kernel state.
   std::vector<SignalBase*> pending_;      ///< signals awaiting commit
-  std::vector<Module*> worklist_;         ///< dirty modules, next delta
   std::vector<Module*> eval_list_;        ///< dirty modules, this delta
   std::vector<Module*> touched_;          ///< seq_touch() reporters, this edge
   ReadTracer tracer_;

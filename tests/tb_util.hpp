@@ -2,12 +2,32 @@
 // and drain stream containers, plus stepping helpers.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/ports.hpp"
 #include "rtl/simulator.hpp"
 
 namespace hwpat::tb {
+
+/// Reads a whole generated file (a VCD trace, typically) and deletes
+/// it, failing the test if it cannot be opened.  Shared by every
+/// differential-waveform test so byte-exactness tweaks (binary-mode
+/// reads, read-error checks) land in one place.
+inline std::string slurp_and_remove(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+  return ss.str();
+}
 
 using core::StreamConsumer;
 using core::StreamProducer;

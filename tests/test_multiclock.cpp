@@ -15,6 +15,7 @@
 #include "meta/codegen.hpp"
 #include "rtl/clock.hpp"
 #include "rtl/simulator.hpp"
+#include "tb_util.hpp"
 
 namespace hwpat {
 namespace {
@@ -27,15 +28,7 @@ using rtl::Simulator;
 
 constexpr std::uint64_t kMaxCycles = 2'000'000;
 
-std::string slurp_and_remove(const std::string& path) {
-  std::ifstream in(path);
-  EXPECT_TRUE(in.good()) << path;
-  std::stringstream ss;
-  ss << in.rdbuf();
-  in.close();
-  std::remove(path.c_str());
-  return ss.str();
-}
+using tb::slurp_and_remove;
 
 // ------------------------------------------------------------------
 // ClockDomain / Options validation at elaboration
@@ -49,6 +42,17 @@ TEST(ClockDomainValidation, RejectsNonPositivePeriod) {
 TEST(ClockDomainValidation, RejectsNegativePhase) {
   EXPECT_THROW(ClockDomain("bad", 2, -1), Error);
 }
+
+TEST(ClockDomainValidation, RejectsPhaseAtOrBeyondPeriod) {
+  // phase k*period + r is the same edge train as phase r: insisting on
+  // the canonical spelling keeps a phase readable as a sub-period
+  // offset (and run_until diagnostics unambiguous).
+  EXPECT_THROW(ClockDomain("bad", 2, 2), Error);
+  EXPECT_THROW(ClockDomain("bad", 3, 7), Error);
+  ClockDomain ok("ok", 3, 2);  // largest legal phase
+  EXPECT_EQ(ok.phase(), 2u);
+}
+
 
 TEST(ClockDomainValidation, RejectsNonPositiveTickDuration) {
   struct Top : Module {
@@ -118,6 +122,70 @@ TEST(TickScheduler, ActivationListsVisitOnlyTheFiringDomain) {
     // Per a-edge 1 of 3 modules is outside the list, per b-edge 2 of 3.
     EXPECT_EQ(sim.stats().act_skips, 6u * 1 + 4u * 2);
   }
+}
+
+TEST(ClockDomainValidation, RejectsDomainAssignmentWhileBound) {
+  // Domains are resolved once, at elaboration: reassigning under a
+  // live simulator would desynchronize the activation lists and the
+  // settle partitions.
+  TwoDomainTop top;
+  {
+    Simulator sim(top);
+    EXPECT_THROW(top.cb.set_clock_domain(&top.a), Error);
+    EXPECT_THROW(top.set_clock_domain(nullptr), Error);
+  }
+  // Unbound again: reassignment is legal and takes effect.
+  top.cb.set_clock_domain(&top.a);
+  {
+    Simulator sim2(top);
+    EXPECT_EQ(sim2.domain_count(), 1u);
+  }
+  top.cb.set_clock_domain(&top.b);  // restore
+}
+
+TEST(TickScheduler, HeapOrdersManyCoprimeDomains) {
+  // Five domains with pairwise-coprime-ish periods: the tick heap must
+  // produce exactly the merged edge trains, in order, with ties
+  // resolved as one event.  The reference sequence is computed the
+  // slow way here, in the test.
+  struct Top : Module {
+    ClockDomain d2{"d2", 2}, d3{"d3", 3}, d5{"d5", 5}, d7{"d7", 7},
+        d11{"d11", 11};
+    EdgeCounter c2{this, "c2"}, c3{this, "c3"}, c5{this, "c5"},
+        c7{this, "c7"}, c11{this, "c11"};
+    Top() : Module(nullptr, "top") {
+      set_clock_domain(&d2);
+      c3.set_clock_domain(&d3);
+      c5.set_clock_domain(&d5);
+      c7.set_clock_domain(&d7);
+      c11.set_clock_domain(&d11);
+    }
+    void declare_state() override { declare_seq_state(); }
+  } top;
+  Simulator sim(top);
+  sim.reset();
+  const std::uint64_t periods[] = {2, 3, 5, 7, 11};
+  std::uint64_t expect_edges = 0;
+  std::uint64_t last = 0;
+  for (int ev = 0; ev < 200; ++ev) {
+    // Reference: the next tick after `last` divisible by any period.
+    std::uint64_t t = last + 1;
+    for (;; ++t) {
+      bool any = false;
+      for (const std::uint64_t p : periods) any |= (t % p == 0);
+      if (any) break;
+    }
+    for (const std::uint64_t p : periods) expect_edges += (t % p == 0);
+    sim.step();
+    ASSERT_EQ(sim.now(), t) << "event " << ev;
+    last = t;
+  }
+  EXPECT_EQ(sim.stats().edges, expect_edges);
+  EXPECT_EQ(top.c2.value.read(), last / 2);
+  EXPECT_EQ(top.c3.value.read(), last / 3);
+  EXPECT_EQ(top.c5.value.read(), last / 5);
+  EXPECT_EQ(top.c7.value.read(), last / 7);
+  EXPECT_EQ(top.c11.value.read(), last / 11);
 }
 
 TEST(TickScheduler, PhaseOffsetsShiftEdges) {
@@ -440,6 +508,224 @@ TEST(DualClkDesign, PixelEqualsMemoryClock) { expect_dualclk_design(1, 1); }
 TEST(DualClkDesign, MemoryThreeTimesFaster) { expect_dualclk_design(3, 1); }
 TEST(DualClkDesign, PixelThreeTimesFaster) { expect_dualclk_design(1, 3); }
 TEST(DualClkDesign, CoprimeRatio) { expect_dualclk_design(3, 7); }
+
+// ------------------------------------------------------------------
+// Per-domain settle partitions & domain affinity
+// ------------------------------------------------------------------
+
+TEST(SettlePartitions, ModuleAndSignalAffinityResolvedAtElaboration) {
+  TwoDomainTop top;
+  EXPECT_EQ(top.partition(), -1);  // unbound: no affinity
+  {
+    Simulator sim(top);
+    // Partitions are indexed like domain_info(): a == 0, b == 1.
+    EXPECT_EQ(top.partition(), 0);
+    EXPECT_EQ(top.ca.partition(), 0);
+    EXPECT_EQ(top.cb.partition(), 1);
+    // A declared register signal carries its *writer's* partition.
+    EXPECT_EQ(top.ca.value.partition(), 0);
+    EXPECT_EQ(top.cb.value.partition(), 1);
+  }
+  // Unbinding clears the affinity, like the dense ids.
+  EXPECT_EQ(top.partition(), -1);
+  EXPECT_EQ(top.cb.value.partition(), -1);
+}
+
+/// Comb logic hanging off an EdgeCounter — gives each partition
+/// something to actually settle.
+struct CombFollower : Module {
+  Bus out{*this, "out", 16};
+  const Bus& in;
+  CombFollower(Module* parent, std::string name, const Bus& i)
+      : Module(parent, std::move(name)), in(i) {}
+  void eval_comb() override { out.write(in.read() + 1); }
+  void declare_state() override { declare_seq_state(); }
+};
+
+TEST(SettlePartitions, QuietDomainIsNotSettled) {
+  // Two independent counter+follower pairs in domains of period 2 and
+  // 3: an edge of one domain must never settle the other's partition.
+  struct Top : Module {
+    ClockDomain a{"a", 2};
+    ClockDomain b{"b", 3};
+    EdgeCounter ca{this, "ca"};
+    EdgeCounter cb{this, "cb"};
+    CombFollower fa{this, "fa", ca.value};
+    CombFollower fb{this, "fb", cb.value};
+    Top() : Module(nullptr, "top") {
+      set_clock_domain(&a);
+      cb.set_clock_domain(&b);
+      fb.set_clock_domain(&b);
+    }
+    void declare_state() override { declare_seq_state(); }
+  } top;
+  Simulator sim(top);
+  sim.reset();
+  sim.reset_stats();
+  while (sim.now() < 12) sim.step();  // 8 events at ticks 2,3,4,6,8,9,10,12
+  const auto& st = sim.stats();
+  // Post-edge settles touch exactly the firing partitions: four a-only
+  // events, two b-only events, two simultaneous ones; every pre-edge
+  // settle is fully quiet.  The accounting is deterministic down to
+  // the exact slot counts.
+  EXPECT_EQ(st.partition_settles, 4 * 1 + 2 * 1 + 2 * 2u);
+  EXPECT_EQ(st.partition_skips, 2 * 2 * st.steps - st.partition_settles);
+  EXPECT_EQ(top.ca.value.read(), 6u);
+  EXPECT_EQ(top.cb.value.read(), 4u);
+  EXPECT_EQ(top.fa.out.read(), 7u);
+  EXPECT_EQ(top.fb.out.read(), 5u);
+}
+
+TEST(SettlePartitions, FullSweepKeepsPartitionCountersAtZero) {
+  TwoDomainTop top;
+  Simulator sim(top, {.full_sweep = true});
+  sim.reset();
+  sim.step(6);
+  EXPECT_EQ(sim.stats().partition_settles, 0u);
+  EXPECT_EQ(sim.stats().partition_skips, 0u);
+}
+
+TEST(SettlePartitions, CdcMarksAreExactlyTheGrayPointers) {
+  // The CDC-arc contract: the async FIFO's gray pointers are the only
+  // signals declared as cross-partition arcs — nothing else in a
+  // shipped CDC design is marked, and both pointers of every FIFO are.
+  auto d = designs::make_saa2vga_triclk(
+      {.width = 8, .height = 6, .cdc_depth = 8, .frames = 1});
+  std::vector<std::string> marked;
+  d->visit([&](const rtl::Module& m) {
+    for (const rtl::SignalBase* s : m.signals()) {
+      if (s->cdc_cross()) marked.push_back(s->full_name());
+      // Conversely: every marked signal is a gray pointer.
+      EXPECT_EQ(s->cdc_cross(),
+                s->name() == "wptr_gray" || s->name() == "rptr_gray")
+          << s->full_name();
+    }
+  });
+  EXPECT_EQ(marked.size(), 4u);  // 2 FIFOs x 2 pointers
+}
+
+// ------------------------------------------------------------------
+// Tri-clock saa2vga design (camera + memory + pixel)
+// ------------------------------------------------------------------
+
+void expect_triclk_design(const designs::Saa2VgaTriClkConfig& cfg,
+                          const std::string& label) {
+  struct Out {
+    std::uint64_t cycles = 0;
+    std::vector<video::Frame> frames;
+    std::string vcd;
+    Simulator::Stats stats;
+  };
+  auto run = [&](bool full_sweep) {
+    auto d = designs::make_saa2vga_triclk(cfg);
+    const std::string path = label + (full_sweep ? "_ref.vcd" : "_evt.vcd");
+    Out out;
+    {
+      Simulator sim(*d, {.full_sweep = full_sweep});
+      sim.open_vcd(path);
+      sim.reset();
+      sim.run_until([&] { return d->finished(); }, kMaxCycles);
+      out.cycles = sim.cycle();
+      out.stats = sim.stats();
+    }  // destroying the simulator flushes the VCD stream
+    out.frames = d->sink().frames();
+    out.vcd = slurp_and_remove(path);
+    return out;
+  };
+  const Out evt = run(false);
+  const Out ref = run(true);
+
+  // Zero data loss through BOTH clock-domain crossings.
+  const auto input = designs::camera_frames(cfg.width, cfg.height,
+                                            cfg.frames, cfg.pattern_seed);
+  EXPECT_EQ(evt.frames, input) << label;
+  // Kernel parity, byte-exact.
+  EXPECT_EQ(evt.cycles, ref.cycles) << label;
+  EXPECT_EQ(evt.frames, ref.frames) << label;
+  EXPECT_EQ(evt.vcd, ref.vcd) << label << ": VCD traces differ";
+  EXPECT_LT(evt.stats.evals, ref.stats.evals) << label;
+  EXPECT_EQ(evt.stats.domain_edges, ref.stats.domain_edges) << label;
+  ASSERT_EQ(evt.stats.domain_edges.size(), 3u) << label;
+  // All three schedulers' skip machinery must be engaged.
+  EXPECT_GT(evt.stats.act_skips, 0u) << label;
+  EXPECT_GT(evt.stats.seq_skips, 0u) << label;
+  EXPECT_GT(evt.stats.partition_settles, 0u) << label;
+  EXPECT_GT(evt.stats.partition_skips, 0u) << label;
+}
+
+TEST(TriClkDesign, LosslessAtCoprimeThreeWayRatio) {
+  expect_triclk_design({.width = 16, .height = 12, .cdc_depth = 8,
+                        .frames = 2},
+                       "triclk_5to2to3");  // default 5:2:3, coprime
+}
+
+TEST(TriClkDesign, LosslessWithAllClocksEqual) {
+  expect_triclk_design({.width = 16, .height = 12, .cdc_depth = 8,
+                        .frames = 2, .cam_period = 1, .mem_period = 1,
+                        .pix_period = 1},
+                       "triclk_1to1to1");
+}
+
+TEST(TriClkDesign, LosslessWithPhaseOffsets) {
+  expect_triclk_design({.width = 16, .height = 12, .cdc_depth = 8,
+                        .frames = 2, .cam_period = 4, .mem_period = 2,
+                        .pix_period = 3, .cam_phase = 3, .mem_phase = 1,
+                        .pix_phase = 2},
+                       "triclk_phased");
+}
+
+TEST(TriClkDesign, FullyDeclaredThreeDomainsAndAffinity) {
+  auto d = designs::make_saa2vga_triclk(
+      {.width = 16, .height = 12, .cdc_depth = 8, .frames = 1});
+  Simulator sim(*d);
+  d->visit([&](const rtl::Module& m) {
+    EXPECT_FALSE(m.opaque_state())
+        << "module '" << m.full_name()
+        << "' has no sequential-state declaration";
+  });
+  ASSERT_EQ(sim.domain_count(), 3u);
+  EXPECT_EQ(sim.domain_info(0).name, "pix");
+  EXPECT_EQ(sim.domain_info(1).name, "cam");
+  EXPECT_EQ(sim.domain_info(2).name, "mem");
+  // Stage-by-stage domain affinity: decoder on cam, copy loop on mem,
+  // vga (and the top glue) on pix.
+  d->visit([&](const rtl::Module& m) {
+    if (m.name() == "decoder") {
+      EXPECT_EQ(m.partition(), 1) << m.full_name();
+    }
+    if (m.name() == "copy") {
+      EXPECT_EQ(m.partition(), 2) << m.full_name();
+    }
+    if (m.name() == "vga") {
+      EXPECT_EQ(m.partition(), 0) << m.full_name();
+    }
+  });
+  sim.reset();
+  sim.run_until([&] { return d->finished(); }, kMaxCycles);
+  EXPECT_GT(sim.stats().seq_skips, 0u);
+  EXPECT_GT(sim.stats().partition_skips, 0u);
+}
+
+TEST(TriClkDesign, RunUntilTimeoutReportsAllThreeDomainsWithPhases) {
+  auto d = designs::make_saa2vga_triclk(
+      {.width = 8, .height = 6, .cdc_depth = 8, .frames = 1,
+       .cam_period = 5, .mem_period = 2, .pix_period = 3,
+       .mem_phase = 1});
+  Simulator sim(*d);
+  sim.reset();
+  try {
+    sim.run_until([] { return false; }, 25);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("pix="), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cam="), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mem="), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(period 5)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("period 2, phase 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cycle 25"), std::string::npos) << msg;
+  }
+}
 
 // ------------------------------------------------------------------
 // Spec / codegen layer for the CDC device kind

@@ -11,9 +11,11 @@
 #include "core/algorithm.hpp"
 #include "core/blur.hpp"
 #include "designs/design.hpp"
+#include "devices/async_fifo.hpp"
 #include "estimate/tech.hpp"
 #include "meta/codegen.hpp"
 #include "meta/factory.hpp"
+#include "rtl/clock.hpp"
 #include "rtl/simulator.hpp"
 #include "tb_util.hpp"
 #include "video/frame.hpp"
@@ -290,6 +292,165 @@ TEST(FailureInjection, GeneratorRejectsNonsenseSpecs) {
   deep.depth = 0;  // no storage
   EXPECT_THROW(meta::validate(deep), SpecError);
 }
+
+// ------------------------------------------------------------------
+// Async-FIFO flag invariants under random push/pop pressure
+//
+// The dual-clock FIFO's full/empty flags are *conservative* (each side
+// sees the other's pointer through a 2-flop synchronizer), and that
+// conservatism is exactly what makes a CDC transfer safe.  The
+// properties, checked against the model occupancy (AsyncFifo::size(),
+// the testbench-only wbin-rbin ground truth) at every settled instant
+// of a randomized run:
+//
+//   * never-overflow:  0 <= size <= depth, always;
+//   * safe push:   !full  =>  size <  depth (>= 1 slot of margin, so a
+//                  push decided on the flag can never overflow);
+//   * safe pop:    !empty =>  size >= 1 (a pop decided on the flag can
+//                  never underflow);
+//   * losslessness: the popped sequence is exactly the pushed sequence
+//                  (strict mode doubles as the overflow/underflow trap:
+//                  a lying flag would raise ProtocolError).
+//
+// Swept over all four PR-3 clock ratios with seeded random pressure
+// patterns on both sides.
+// ------------------------------------------------------------------
+
+/// Producer/consumer around one AsyncFifo, throttled by pre-drawn
+/// random patterns so construction is deterministic per seed.
+struct RandomCdcTb : rtl::Module {
+  rtl::ClockDomain wr_dom, rd_dom;
+  rtl::Bit wr_en{*this, "wr_en"}, rd_en{*this, "rd_en"};
+  rtl::Bit full{*this, "full"}, empty{*this, "empty"};
+  rtl::Bus wr_data{*this, "wr_data", 8}, rd_data{*this, "rd_data", 8};
+  devices::AsyncFifo fifo;
+
+  struct Producer : rtl::Module {
+    RandomCdcTb& tb;
+    std::vector<bool> pattern;
+    std::size_t t = 0;
+    std::vector<Word> pushed;
+    Producer(RandomCdcTb* parent, std::vector<bool> pat)
+        : Module(parent, "producer"), tb(*parent), pattern(std::move(pat)) {}
+    void eval_comb() override {
+      const bool want = t < pattern.size() && pattern[t];
+      tb.wr_en.write(want && !tb.full.read());
+      tb.wr_data.write(truncate(0x11 * (pushed.size() + 1), 8));
+    }
+    void on_clock() override {
+      ++t;
+      if (tb.wr_en.read()) pushed.push_back(tb.wr_data.read());
+      seq_touch();
+    }
+    void on_reset() override {
+      t = 0;
+      pushed.clear();
+    }
+    void declare_state() override { declare_seq_state(); }
+  } producer;
+
+  struct Consumer : rtl::Module {
+    RandomCdcTb& tb;
+    std::vector<bool> pattern;
+    std::size_t t = 0;
+    std::vector<Word> popped;
+    Consumer(RandomCdcTb* parent, std::vector<bool> pat)
+        : Module(parent, "consumer"), tb(*parent), pattern(std::move(pat)) {}
+    void eval_comb() override {
+      const bool want = t < pattern.size() && pattern[t];
+      tb.rd_en.write(want && !tb.empty.read());
+    }
+    void on_clock() override {
+      ++t;
+      if (tb.rd_en.read()) popped.push_back(tb.rd_data.read());
+      seq_touch();
+    }
+    void on_reset() override {
+      t = 0;
+      popped.clear();
+    }
+    void declare_state() override { declare_seq_state(); }
+  } consumer;
+
+  RandomCdcTb(std::int64_t wr_period, std::int64_t rd_period, int depth,
+              unsigned seed, double push_density, double pop_density)
+      : Module(nullptr, "rand_cdc_tb"),
+        wr_dom("wr", wr_period),
+        rd_dom("rd", rd_period),
+        fifo(this, "fifo", {.width = 8, .depth = depth},
+             devices::AsyncFifoPorts{wr_en, wr_data, full, rd_en, rd_data,
+                                     empty},
+             &wr_dom, &rd_dom),
+        producer(this, draw(seed, push_density)),
+        consumer(this, draw(seed + 0x9e3779b9u, pop_density)) {
+    set_clock_domain(&rd_dom);
+    producer.set_clock_domain(&wr_dom);
+    consumer.set_clock_domain(&rd_dom);
+  }
+  void declare_state() override { declare_seq_state(); }
+
+  static std::vector<bool> draw(unsigned seed, double density) {
+    std::mt19937 rng(seed);
+    std::bernoulli_distribution bit(density);
+    std::vector<bool> p(4000);
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = bit(rng);
+    return p;
+  }
+};
+
+class AsyncFifoFlagInvariants
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AsyncFifoFlagInvariants, ConservativeUnderRandomPressure) {
+  const auto [wr_period, rd_period] = GetParam();
+  // Three pressure profiles per ratio: balanced, writer-heavy (tests
+  // the full flag) and reader-heavy (tests the empty flag).
+  const struct {
+    unsigned seed;
+    double push, pop;
+  } profiles[] = {{11, 0.5, 0.5}, {22, 0.95, 0.25}, {33, 0.25, 0.95}};
+  for (const auto& pr : profiles) {
+    RandomCdcTb tb(wr_period, rd_period, 8, pr.seed, pr.push, pr.pop);
+    Simulator sim(tb);
+    sim.reset();
+    const std::string label = std::to_string(wr_period) + ":" +
+                              std::to_string(rd_period) + " seed " +
+                              std::to_string(pr.seed);
+    for (int step = 0; step < 3000; ++step) {
+      sim.step();  // strict mode: a lying flag throws ProtocolError here
+      const int size = tb.fifo.size();
+      const int depth = tb.fifo.config().depth;
+      ASSERT_GE(size, 0) << label << " step " << step << ": underflow";
+      ASSERT_LE(size, depth) << label << " step " << step << ": overflow";
+      if (!tb.full.read()) {
+        ASSERT_LT(size, depth)
+            << label << " step " << step
+            << ": full deasserted without a slot of margin";
+      }
+      if (!tb.empty.read()) {
+        ASSERT_GE(size, 1)
+            << label << " step " << step
+            << ": empty deasserted with nothing to pop";
+      }
+    }
+    // Lossless, in order, no duplication — and the run moved real data.
+    ASSERT_GT(tb.consumer.popped.size(), 100u) << label;
+    // A duplicating FIFO would pop more than was pushed: catch that as
+    // a clean failure, not an out-of-range iterator below.
+    ASSERT_LE(tb.consumer.popped.size(), tb.producer.pushed.size())
+        << label;
+    const std::vector<Word> expect(
+        tb.producer.pushed.begin(),
+        tb.producer.pushed.begin() +
+            static_cast<std::ptrdiff_t>(tb.consumer.popped.size()));
+    EXPECT_EQ(tb.consumer.popped, expect) << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClockRatios, AsyncFifoFlagInvariants,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 3}, std::pair{3, 1},
+                      std::pair{3, 7}));
 
 // ------------------------------------------------------------------
 // Estimator invariants over real designs

@@ -19,6 +19,7 @@
 #include "devices/linebuffer.hpp"
 #include "devices/sram.hpp"
 #include "rtl/simulator.hpp"
+#include "tb_util.hpp"
 
 namespace hwpat {
 namespace {
@@ -30,15 +31,7 @@ using rtl::Simulator;
 
 constexpr std::uint64_t kMaxCycles = 2'000'000;
 
-std::string slurp_and_remove(const std::string& path) {
-  std::ifstream in(path);
-  EXPECT_TRUE(in.good()) << path;
-  std::stringstream ss;
-  ss << in.rdbuf();
-  in.close();
-  std::remove(path.c_str());
-  return ss.str();
-}
+using tb::slurp_and_remove;
 
 struct RunResult {
   std::uint64_t cycles = 0;
