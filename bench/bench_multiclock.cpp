@@ -116,6 +116,56 @@ void BM_Saa2VgaTriClk(benchmark::State& state) {
                    : static_cast<double>(stats.partition_skips) / slots);
 }
 
+/// Tri-clock capture farm under the parallel settle engine: `lanes`
+/// independent camera→memory→pixel pipelines share the same three
+/// domains (three settle partitions, each lanes× as heavy), and
+/// Options::threads workers drain dirty partitions concurrently.
+/// range(0) = lanes, range(1) = threads (0 = single-threaded kernel).
+/// steps_per_sec across thread counts is THE headline comparison; the
+/// deterministic counters must not move with it (gated separately by
+/// bench_stats_gate --threads N).  Meaningful speedups need real cores:
+/// on a 1-CPU container the threaded rows measure engine overhead, not
+/// parallelism.
+void BM_Saa2VgaTriClkFarm(benchmark::State& state) {
+  // Aligned 1:1:1 periods: every event fires all three domains, so the
+  // post-edge settle has three dirty partitions — the maximally
+  // parallel delta shape (the coprime default mostly dirties ONE
+  // partition per delta, which the engine deliberately runs inline).
+  const designs::Saa2VgaTriClkConfig cfg{.width = 32,
+                                         .height = 24,
+                                         .cdc_depth = 16,
+                                         .frames = 1,
+                                         .cam_period = 1,
+                                         .mem_period = 1,
+                                         .pix_period = 1,
+                                         .lanes =
+                                             static_cast<int>(state.range(0))};
+  const int threads = static_cast<int>(state.range(1));
+  std::uint64_t cycles = 0;
+  rtl::Simulator::Stats stats;
+  for (auto _ : state) {
+    auto d = designs::make_saa2vga_triclk(cfg);
+    rtl::Simulator sim(*d, {.threads = threads});
+    sim.reset();
+    sim.run_until([&] { return d->finished(); }, 50'000'000);
+    cycles += sim.cycle();
+    stats.steps += sim.stats().steps;
+    stats.evals += sim.stats().evals;
+    stats.deltas += sim.stats().deltas;
+    stats.partition_settles += sim.stats().partition_settles;
+    benchmark::DoNotOptimize(d->sink().pixels_received());
+  }
+  state.counters["steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles"] = benchmark::Counter(
+      static_cast<double>(cycles) / static_cast<double>(state.iterations()));
+  state.counters["evals_per_step"] = benchmark::Counter(
+      static_cast<double>(stats.evals) / static_cast<double>(stats.steps));
+  state.counters["psettles_per_step"] = benchmark::Counter(
+      static_cast<double>(stats.partition_settles) /
+      static_cast<double>(stats.steps));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Saa2VgaDualClk<false>)
@@ -139,5 +189,16 @@ BENCHMARK(BM_Saa2VgaTriClk<false>)
 BENCHMARK(BM_Saa2VgaTriClk<true>)
     ->Name("saa2vga_triclk/full_sweep")
     ->Args({5, 2, 3});
+// Tri-clock farm: {lanes, threads}.  threads 0 vs 3 on the same 8-lane
+// farm is the parallel-settle headline; 1 and 2 chart the engine's
+// dispatch overhead and scaling curve.
+BENCHMARK(BM_Saa2VgaTriClkFarm)
+    ->Name("saa2vga_triclk_farm")
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 3})
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 // main() comes from benchmark_main (see CMakeLists.txt), as in the
 // other google-benchmark benches.

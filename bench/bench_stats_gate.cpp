@@ -13,6 +13,12 @@
 //   bench_stats_gate --write [bench/baselines.json]   (refresh baselines)
 //   bench_stats_gate --print                          (show counters)
 //
+// Any mode additionally accepts `--threads N`: every scenario then runs
+// under the parallel settle engine (Simulator::Options::threads = N)
+// against the SAME baselines — the deterministic counters are
+// thread-count invariant by design, and CI holds the parallel kernel to
+// the exact single-threaded numbers this way.
+//
 // --check fails (exit 1) when any scenario's cycle count differs from
 // the baseline, or when evals/commits exceed the baseline by more than
 // the slack (2%, absorbing innocuous scheduling-order churn).  Doing
@@ -20,6 +26,7 @@
 // same PR to lock the win in.
 #include <cctype>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -37,6 +44,10 @@ using namespace hwpat;
 
 constexpr double kSlack = 0.02;  // tolerated counter growth vs baseline
 constexpr std::uint64_t kMaxCycles = 2'000'000;
+
+/// Simulator::Options::threads for every scenario (--threads N); the
+/// counters must not depend on it.
+int g_threads = 0;
 
 struct Counters {
   std::uint64_t cycles = 0;
@@ -123,11 +134,22 @@ const Scenario kScenarios[] = {
            {.width = 24, .height = 18, .cdc_depth = 16, .frames = 2,
             .cam_period = 1, .mem_period = 1, .pix_period = 1});
      }},
+    // Tri-clock capture FARM: three independent lanes sharing the same
+    // three domains — the workload shape of the parallel settle engine.
+    // Its counters (like all of them) must be thread-count invariant:
+    // CI re-runs this whole gate with --threads 3 against the same
+    // baseline entries.
+    {"saa2vga_triclk_farm3",
+     [] {
+       return designs::make_saa2vga_triclk(
+           {.width = 16, .height = 12, .cdc_depth = 16, .frames = 1,
+            .lanes = 3});
+     }},
 };
 
 Counters run_scenario(const Scenario& s) {
   auto d = s.make();
-  rtl::Simulator sim(*d);
+  rtl::Simulator sim(*d, {.threads = g_threads});
   sim.reset();
   sim.run_until([&] { return d->finished(); }, kMaxCycles);
   return Counters{sim.cycle(),
@@ -388,9 +410,39 @@ int check(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string mode = argc > 1 ? argv[1] : "--print";
-  const std::string path = argc > 2 ? argv[2] : "bench/baselines.json";
+  std::string mode = "--print";
+  std::string path = "bench/baselines.json";
+  bool mode_set = false, path_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_stats_gate: --threads needs a value\n";
+        return 2;
+      }
+      g_threads = std::atoi(argv[++i]);
+      if (g_threads < 0) {
+        std::cerr << "bench_stats_gate: --threads must be >= 0\n";
+        return 2;
+      }
+    } else if (!mode_set && arg.rfind("--", 0) == 0) {
+      mode = arg;
+      mode_set = true;
+    } else if (!path_set) {
+      path = arg;
+      path_set = true;
+    } else {
+      std::cerr << "bench_stats_gate: unexpected argument '" << arg
+                << "'\n";
+      return 2;
+    }
+  }
   try {
+    if (g_threads > 0)
+      std::cout << "bench_stats_gate: parallel settle with threads="
+                << g_threads << " (counters must match the\n"
+                << "single-threaded baselines exactly — they are "
+                   "thread-count invariant)\n";
     if (mode == "--check") return check(path);
     if (mode == "--write") {
       const auto all = run_all();
@@ -404,7 +456,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::cerr << "usage: bench_stats_gate [--check|--write|--print] "
-                 "[baselines.json]\n";
+                 "[baselines.json] [--threads N]\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "bench_stats_gate: " << e.what() << "\n";

@@ -31,8 +31,9 @@ class LineBufferContainer : public Container {
                       StreamImpl p, const Bit& sof);
 
   void eval_comb() override;
-  // Pure combinational wrapper: no on_clock(), nothing to register.
-  void declare_state() override { declare_seq_state(); }
+  // Pure combinational wrapper: no on_clock() at all — pruned from
+  // the activation list entirely.
+  void declare_state() override { declare_comb_only(); }
   void report(rtl::PrimitiveTally&) const override {}  // pure wrapper
 
   [[nodiscard]] const Config& config() const { return cfg_; }

@@ -30,8 +30,9 @@ class CoreStreamContainer : public Container {
                       StreamImpl p);
 
   void eval_comb() override;
-  // Pure combinational wrapper: no on_clock(), nothing to register.
-  void declare_state() override { declare_seq_state(); }
+  // Pure combinational wrapper: no on_clock() at all — pruned from
+  // the activation list entirely.
+  void declare_state() override { declare_comb_only(); }
   // Pure wrapper: dissolves at synthesis.  The storage core is a child
   // module and reports itself.
   void report(rtl::PrimitiveTally&) const override {}

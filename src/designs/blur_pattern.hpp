@@ -22,7 +22,7 @@ class BlurPattern : public VideoDesign {
 
   void eval_comb() override;
   // Pure combinational top (drives the constant start strobe only).
-  void declare_state() override { declare_seq_state(); }
+  void declare_state() override { declare_comb_only(); }
 
   [[nodiscard]] const video::VgaSink& sink() const override {
     return vga_;

@@ -84,6 +84,14 @@ struct Saa2VgaTriClkConfig {
   std::int64_t cam_phase = 0;
   std::int64_t mem_phase = 0;
   std::int64_t pix_phase = 0;
+  /// Independent camera→memory→pixel pipelines sharing the SAME three
+  /// clock domains (a capture farm on one board).  Each lane gets its
+  /// own decoder/FIFOs/copy-loop/VGA and a distinct pattern seed
+  /// (pattern_seed + lane).  Lanes multiply the per-partition work
+  /// without adding domains — the scaling knob the parallel settle
+  /// engine (Simulator::Options::threads) is benchmarked with.  1 (the
+  /// default) is the original tri-clock design, bit-identically.
+  int lanes = 1;
 };
 
 /// saa2vga, pattern-based (rows 1-2 of Table 3; device selects which).

@@ -29,8 +29,9 @@ class Saa2VgaCustomFifo : public VideoDesign {
   explicit Saa2VgaCustomFifo(const Saa2VgaConfig& cfg);
 
   void eval_comb() override;
-  // Pure combinational forwarder: no on_clock().
-  void declare_state() override { declare_seq_state(); }
+  // Pure combinational forwarder: no on_clock() — pruned from the
+  // activation list entirely.
+  void declare_state() override { declare_comb_only(); }
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const video::VgaSink& sink() const override {

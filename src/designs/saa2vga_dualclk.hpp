@@ -34,7 +34,7 @@ class Saa2VgaDualClk : public VideoDesign {
 
   void eval_comb() override;
   // Pure combinational top (drives the constant start strobe only).
-  void declare_state() override { declare_seq_state(); }
+  void declare_state() override { declare_comb_only(); }
 
   [[nodiscard]] const video::VgaSink& sink() const override {
     return vga_;

@@ -18,11 +18,26 @@ class AsyncFifo::WriteSide : public rtl::Module {
       : Module(f, "wr_side"),
         f_(*f),
         rsync1_(*this, "rsync1", f->ptr_bits()),
-        rsync2_(*this, "rsync2", f->ptr_bits()) {}
+        rsync2_(*this, "rsync2", f->ptr_bits()) {
+    if (f_.cfg_.strict) enable_clock_check();
+  }
 
   void eval_comb() override {
     f_.p_.full.write(f_.wptr_gray_.read() ==
                      (rsync2_.read() ^ f_.top2_mask()));
+  }
+
+  /// Strict-mode validate phase: the full test below is a pure function
+  /// of settled values, so an illegal write aborts the clock-edge event
+  /// before any domain's state (including this side's synchronizers)
+  /// has advanced.
+  void on_clock_check() const override {
+    // Untraced reads (as_word_fast), as in FifoCore::on_clock_check().
+    if (f_.p_.wr_en.as_word_fast() == 0) return;
+    if (f_.wptr_gray_.as_word_fast() ==
+        (rsync2_.as_word_fast() ^ f_.top2_mask()))
+      throw ProtocolError("async FIFO '" + f_.full_name() +
+                          "': write while full");
   }
 
   void on_clock() override {
@@ -84,7 +99,20 @@ class AsyncFifo::ReadSide : public rtl::Module {
       : Module(f, "rd_side"),
         f_(*f),
         wsync1_(*this, "wsync1", f->ptr_bits()),
-        wsync2_(*this, "wsync2", f->ptr_bits()) {}
+        wsync2_(*this, "wsync2", f->ptr_bits()) {
+    if (f_.cfg_.strict) enable_clock_check();
+  }
+
+  /// Strict-mode validate phase (see WriteSide::on_clock_check): an
+  /// illegal read aborts the event before the synchronizer writes at
+  /// the top of on_clock() below ever happen.
+  void on_clock_check() const override {
+    // Untraced reads (as_word_fast), as in FifoCore::on_clock_check().
+    if (f_.p_.rd_en.as_word_fast() == 0) return;
+    if (f_.rptr_gray_.as_word_fast() == wsync2_.as_word_fast())
+      throw ProtocolError("async FIFO '" + f_.full_name() +
+                          "': read while empty");
+  }
 
   void eval_comb() override {
     const bool empty_now = f_.rptr_gray_.read() == wsync2_.read();

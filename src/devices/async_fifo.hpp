@@ -68,8 +68,10 @@ class AsyncFifo : public rtl::Module {
   // and completed only in the .cpp.
   ~AsyncFifo() override;
 
-  // Structural wrapper: the clocked work lives in the two side modules.
-  void declare_state() override { declare_seq_state(); }
+  // Structural wrapper: the clocked work lives in the two side
+  // modules; the wrapper itself has no on_clock() and is pruned from
+  // its domain's activation list entirely.
+  void declare_state() override { declare_comb_only(); }
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const AsyncFifoConfig& config() const { return cfg_; }

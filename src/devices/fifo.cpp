@@ -10,6 +10,23 @@ FifoCore::FifoCore(Module* parent, std::string name, FifoConfig cfg,
       mem_(static_cast<std::size_t>(cfg.depth), 0) {
   HWPAT_ASSERT(cfg_.width >= 1 && cfg_.width <= kMaxBusBits);
   HWPAT_ASSERT(cfg_.depth >= 1);
+  // Strict mode throws from the pre-edge validate phase, so an illegal
+  // operation aborts the whole clock-edge event before ANY state moved.
+  if (cfg_.strict) enable_clock_check();
+}
+
+void FifoCore::on_clock_check() const {
+  // as_word_fast(): untraced reads — this hook runs on every edge of
+  // the FIFO's domain, outside any eval trace, so skipping the tracer
+  // hook keeps the validate phase off the step's critical path.
+  const bool do_rd = p_.rd_en.as_word_fast() != 0;
+  const bool do_wr = p_.wr_en.as_word_fast() != 0;
+  // Mirrors on_clock() exactly: the read is checked first; a write can
+  // only overflow when no read frees a slot in the same cycle.
+  if (do_rd && count_ == 0)
+    throw ProtocolError("FIFO '" + full_name() + "': read while empty");
+  if (do_wr && !do_rd && count_ == cfg_.depth)
+    throw ProtocolError("FIFO '" + full_name() + "': write while full");
 }
 
 void FifoCore::declare_state() {

@@ -46,6 +46,10 @@ class FifoCore : public rtl::Module {
 
   void eval_comb() override;
   void on_clock() override;
+  /// Strict-mode validate phase: raises ProtocolError for a read while
+  /// empty / write while full from settled inputs, before any module's
+  /// on_clock() has run — an aborted clock-edge event is a no-op.
+  void on_clock_check() const override;
   void on_reset() override;
   void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;

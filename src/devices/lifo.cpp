@@ -10,6 +10,24 @@ LifoCore::LifoCore(Module* parent, std::string name, LifoConfig cfg,
       mem_(static_cast<std::size_t>(cfg.depth), 0) {
   HWPAT_ASSERT(cfg_.width >= 1 && cfg_.width <= kMaxBusBits);
   HWPAT_ASSERT(cfg_.depth >= 1);
+  if (cfg_.strict) enable_clock_check();
+}
+
+void LifoCore::on_clock_check() const {
+  // Untraced reads, as in FifoCore::on_clock_check().
+  const bool do_rd = p_.rd_en.as_word_fast() != 0;
+  const bool do_wr = p_.wr_en.as_word_fast() != 0;
+  // Mirrors on_clock() exactly, including the replace-top special case.
+  if (do_rd && do_wr) {
+    if (count_ == 0)
+      throw ProtocolError("LIFO '" + full_name() +
+                          "': pop+push while empty");
+    return;
+  }
+  if (do_rd && count_ == 0)
+    throw ProtocolError("LIFO '" + full_name() + "': pop while empty");
+  if (do_wr && count_ == cfg_.depth)
+    throw ProtocolError("LIFO '" + full_name() + "': push while full");
 }
 
 void LifoCore::declare_state() {

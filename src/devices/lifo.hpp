@@ -40,6 +40,8 @@ class LifoCore : public rtl::Module {
 
   void eval_comb() override;
   void on_clock() override;
+  /// Strict-mode validate phase (see FifoCore::on_clock_check).
+  void on_clock_check() const override;
   void on_reset() override;
   void declare_state() override;
   void report(rtl::PrimitiveTally& t) const override;

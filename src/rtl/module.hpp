@@ -62,6 +62,15 @@ class Module {
   virtual void eval_comb() {}
   /// Sequential process, one call per rising clock edge.  Default: none.
   virtual void on_clock() {}
+  /// Validate phase of a clock-edge event, run for every module that
+  /// opted in via enable_clock_check() — across ALL domains firing at
+  /// the tick — before ANY on_clock() runs.  A strict device raises
+  /// ProtocolError here, from settled inputs only, so an aborted event
+  /// is a perfect no-op: no register write, no internal C++ state
+  /// mutation, no counter advance anywhere — the retried step() re-fires
+  /// the same tick as if the throw never happened.  Must not write
+  /// signals or mutate state.  Default: nothing.
+  virtual void on_clock_check() const {}
   /// Reset registers to their initial values.  Default: none.
   virtual void on_reset() {}
   /// Sequential-state declaration hook, called once when a Simulator
@@ -91,6 +100,12 @@ class Module {
   /// True when this module made no sequential-state declaration (the
   /// conservative fallback).  Meaningful while bound to a Simulator.
   [[nodiscard]] bool opaque_state() const { return !seq_declared_; }
+  /// True when this module asked for the on_clock_check() validate
+  /// phase (enable_clock_check()).
+  [[nodiscard]] bool has_clock_check() const { return clock_check_; }
+  /// True when this module declared it has no sequential process
+  /// (declare_comb_only()).  Meaningful while bound to a Simulator.
+  [[nodiscard]] bool comb_only() const { return no_clock_; }
   /// Domain-affinity partition resolved by the binding Simulator
   /// (indexed like Simulator::domain_info(); the effective clock
   /// domain after inheritance).  -1 while unbound.
@@ -113,9 +128,25 @@ class Module {
   }
 
  protected:
+  /// Opts this module into the on_clock_check() validate phase.  Call
+  /// at construction, like wiring (typically only when a strict mode is
+  /// configured): it is part of the design, not of a simulator binding.
+  void enable_clock_check() { clock_check_ = true; }
   /// Marks this module's sequential state as declared without
   /// registering any signal (see declare_state()).
   void declare_seq_state() { seq_declared_ = true; }
+  /// The strongest declaration: this module has NO sequential process
+  /// at all — on_clock() is the inherited empty default (on_reset()
+  /// still runs).  The simulator then drops the module from its
+  /// domain's activation list entirely, so edges cost it nothing — not
+  /// even the empty virtual call.  Declaring this on a module that
+  /// does override on_clock() silently disables that process; the
+  /// differential kernel tests catch such a mistake for everything in
+  /// this repo.  Implies declare_seq_state().
+  void declare_comb_only() {
+    seq_declared_ = true;
+    no_clock_ = true;
+  }
   /// Declares `s` as a register signal this module's on_clock() may
   /// write, and marks the state as declared.  Call from declare_state().
   void register_seq(SignalBase& s);
@@ -142,15 +173,21 @@ class Module {
   std::vector<Module*> children_;
   std::vector<SignalBase*> signals_;
   const ClockDomain* domain_ = nullptr;  ///< explicit assignment, or inherit
+  bool clock_check_ = false;  ///< wants the on_clock_check() phase
 
   // --- state owned by the binding Simulator (see simulator.cpp) ---
   int sim_id_ = -1;          ///< dense id in elaboration order, -1 = unbound
   std::int16_t part_ = -1;   ///< domain-affinity partition, -1 = unbound
   bool comb_dirty_ = false;  ///< on the simulator's dirty-module worklist
   bool seq_declared_ = false;  ///< declare_state() made a declaration
+  bool no_clock_ = false;      ///< declare_comb_only(): no on_clock()
   bool seq_touched_ = false;   ///< on the simulator's touched list
   std::vector<SignalBase*> seq_signals_;  ///< declared register signals
   std::vector<Module*>* seq_queue_ = nullptr;  ///< touched-module list
+  /// The partition's dirty worklist this module belongs to, resolved at
+  /// elaboration — the partition index fused into the dirty-marking
+  /// fast path (one pointer chase instead of an index + branch).
+  std::vector<Module*>* work_queue_ = nullptr;
 };
 
 }  // namespace hwpat::rtl

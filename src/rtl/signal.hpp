@@ -14,6 +14,7 @@
 // full-sweep reference mode) behave exactly as before.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <type_traits>
@@ -106,6 +107,10 @@ class SignalBase {
   /// Copies next into current.  Returns true when the visible value
   /// changed (used by the delta-cycle settling loop).
   virtual bool commit() = 0;
+  /// Throws away an uncommitted write: next := current.  The simulator
+  /// uses it to roll back the writes of an aborted clock-edge event
+  /// (cold path — no devirtualized dispatch needed).
+  virtual void discard_write() = 0;
   /// Non-virtual commit dispatcher: inlines the Word/bool fast paths
   /// (the two signal types that dominate every shipped design) and
   /// falls back to the virtual commit() for everything else.  Defined
@@ -123,11 +128,17 @@ class SignalBase {
 
  protected:
   /// Called by Signal<T>::write(): schedules this signal for commit on
-  /// the bound simulator's pending list (at most once until drained).
+  /// the writer's pending-commit list (at most once until drained).
+  /// The list is the signal's partition's pending list, resolved at
+  /// elaboration (queue_) — except inside a parallel-settle worker,
+  /// where a thread-local sink reroutes the write to the partition the
+  /// worker is draining, so concurrent workers never share a list.
   void note_write() {
-    if (queue_ != nullptr && !pending_) {
+    std::vector<SignalBase*>* q = write_sink_;
+    if (q == nullptr) q = queue_;
+    if (q != nullptr && !pending_) {
       pending_ = true;
-      queue_->push_back(this);
+      q->push_back(this);
     }
   }
   /// Called by Signal<T>::read(): reports the read to the active tracer,
@@ -155,19 +166,31 @@ class SignalBase {
                                            ///< keeps hot fields' layout)
   bool pending_ = false;                   ///< on the pending-commit list
   bool vcd_mark_ = false;                  ///< on the changed-since-sample list
-  std::uint64_t read_stamp_ = 0;           ///< ReadTracer dedup marker
+  /// ReadTracer dedup marker.  Atomic (relaxed — a plain load/store on
+  /// the targeted ISAs) because parallel-settle workers in different
+  /// partitions may trace reads of the same CDC signal concurrently;
+  /// stamps are unique per trace across contexts, so a lost dedup at
+  /// worst records a duplicate read, which the fanout merge absorbs.
+  std::atomic<std::uint64_t> read_stamp_{0};
   std::vector<SignalBase*>* queue_ = nullptr;  ///< pending-commit list
   std::vector<Module*> fanout_;            ///< observed comb readers
   Module* last_reader_ = nullptr;          ///< fanout-merge fast path
 
   /// Active trace, if any.  thread_local so simulators over disjoint
-  /// designs may run on different threads.
+  /// designs — and this simulator's parallel-settle workers — may run
+  /// on different threads.
   static inline thread_local ReadTracer* tracer_ = nullptr;
+  /// Pending-commit override installed around a parallel-settle
+  /// worker's evaluations: all writes made by the worker land here
+  /// instead of queue_, keeping every pending list single-threaded.
+  /// nullptr (the default everywhere else) selects queue_.
+  static inline thread_local std::vector<SignalBase*>* write_sink_ =
+      nullptr;
 };
 
 inline void ReadTracer::record(SignalBase* s) {
-  if (s->read_stamp_ == stamp_) return;
-  s->read_stamp_ = stamp_;
+  if (s->read_stamp_.load(std::memory_order_relaxed) == stamp_) return;
+  s->read_stamp_.store(stamp_, std::memory_order_relaxed);
   reads_.push_back(s);
 }
 
@@ -214,6 +237,8 @@ class Signal : public SignalBase {
   }
   /// Restores the construction-time value on both phases (reset).
   void reset_value() override { cur_ = nxt_ = init_; }
+  /// Throws away an uncommitted write (aborted-event rollback).
+  void discard_write() final { nxt_ = cur_; }
 
   /// Non-virtual body of commit(), callable directly when the concrete
   /// type is known statically (the commit_fast() dispatch).

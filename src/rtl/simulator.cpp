@@ -1,25 +1,212 @@
 #include "rtl/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "rtl/vcd.hpp"
 
 namespace hwpat::rtl {
+
+// ---------------------------------------------------------------------
+// Parallel settle engine
+// ---------------------------------------------------------------------
+
+/// One execution context of the parallel settle: context 0 belongs to
+/// the calling thread, the rest each to one persistent worker.  A
+/// context owns everything its evaluations touch exclusively — tracer,
+/// eval scratch list, deferred fanout merges, stats — so a settle round
+/// needs no locking at all: partitions are handed out through one
+/// atomic counter, and the round's completion countdown is the only
+/// other shared word.
+struct Simulator::ParallelCtx {
+  ReadTracer tracer;
+  std::vector<Module*> eval_list;  ///< worklist swap target, per drain
+  /// Fanout merges observed while tracing, deferred so workers never
+  /// mutate the shared fanout_/last_reader_ fields; the coordinating
+  /// thread folds them in after the round's barrier.
+  std::vector<std::pair<SignalBase*, Module*>> merges;
+  std::uint64_t evals = 0;  ///< eval_comb() calls, folded after the round
+  /// Trace stamps: tag | ++count is unique across contexts (the tag is
+  /// the context index in the top byte) and disjoint from the
+  /// single-threaded eval_stamp_ range, which never reaches bit 56.
+  std::uint64_t stamp_tag = 0;
+  std::uint64_t stamp_count = 0;
+  std::exception_ptr error;  ///< first eval_comb() throw, rethrown later
+};
+
+/// Persistent worker pool.  Workers park on a condition variable
+/// between rounds (after a short spin so back-to-back deltas hand off
+/// in nanoseconds, not wakeup latencies) and race down one atomic work
+/// index during a round.  The coordinating thread participates as
+/// context 0, so Options::threads counts *execution contexts*, not
+/// extra threads.
+struct Simulator::ParallelSettle {
+  ParallelSettle(Simulator* sim, int contexts) : sim_(sim) {
+    // Stamp tags live in the top byte: context count must fit it, or
+    // tags would wrap into the single-threaded stamp range and stale
+    // read-stamp collisions could silently drop fanout edges.
+    HWPAT_ASSERT(contexts >= 1 && contexts <= 255);
+    ctxs_.resize(static_cast<std::size_t>(contexts));
+    for (std::size_t i = 0; i < ctxs_.size(); ++i)
+      ctxs_[i].stamp_tag = static_cast<std::uint64_t>(i + 1) << 56;
+    for (std::size_t i = 1; i < ctxs_.size(); ++i)
+      workers_.emplace_back([this, i] { worker_main(i); });
+  }
+
+  ~ParallelSettle() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      quit_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Runs one delta round over `active` (the dirty partitions): hands
+  /// the indices to every context, participates, and blocks until all
+  /// workers finished.  The caller folds merges/stats/errors afterwards.
+  void run_round(const std::vector<std::size_t>& active) {
+    work_ = &active;
+    next_.store(0, std::memory_order_relaxed);
+    unfinished_.store(static_cast<int>(workers_.size()),
+                      std::memory_order_relaxed);
+    {
+      // The lock orders the epoch bump against a worker's wait
+      // predicate, so a worker deciding to sleep can never miss the
+      // notify; workers in the spin phase see the epoch store alone.
+      std::lock_guard<std::mutex> lk(m_);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_all();
+    drain(ctxs_[0]);
+    // Completion spin: rounds are microseconds apart, a futex sleep
+    // here would dominate the settle.  yield() keeps single-CPU hosts
+    // (CI sanitizer runners) from livelocking against their own pool.
+    while (unfinished_.load(std::memory_order_acquire) != 0)
+      std::this_thread::yield();
+  }
+
+  [[nodiscard]] std::vector<ParallelCtx>& ctxs() { return ctxs_; }
+
+ private:
+  void drain(ParallelCtx& c) {
+    const std::vector<std::size_t>& w = *work_;
+    for (;;) {
+      const std::size_t k = next_.fetch_add(1, std::memory_order_relaxed);
+      if (k >= w.size()) return;
+      try {
+        sim_->drain_partition_parallel(w[k], c);
+      } catch (...) {
+        // The throw abandoned the drain mid-list: clear the context's
+        // scratch, or the stale modules would be swapped into a later
+        // round's (possibly foreign) partition worklist after the
+        // documented reset() recovery — double-evaluating them there.
+        c.eval_list.clear();
+        if (!c.error) c.error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_main(std::size_t i) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      // Arm phase: spin briefly for the next round, then park.
+      int spins = 4096;
+      while (epoch_.load(std::memory_order_acquire) == seen &&
+             !quit_.load(std::memory_order_acquire)) {
+        if (--spins > 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [&] {
+          return quit_ || epoch_.load(std::memory_order_acquire) != seen;
+        });
+        break;
+      }
+      if (quit_.load(std::memory_order_acquire)) return;
+      seen = epoch_.load(std::memory_order_acquire);
+      drain(ctxs_[i]);
+      unfinished_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  Simulator* sim_;
+  std::vector<ParallelCtx> ctxs_;
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> next_{0};
+  std::atomic<int> unfinished_{0};
+  std::atomic<bool> quit_{false};
+  const std::vector<std::size_t>* work_ = nullptr;
+};
+
+void Simulator::drain_partition_parallel(std::size_t pi, ParallelCtx& c) {
+  Partition& p = parts_[pi];
+  // Reroute every write this context makes to the drained partition's
+  // pending list: cross-partition writes (legal, if undisciplined)
+  // land in the writer's list instead of racing the signal's own.
+  SignalBase::write_sink_ = &p.pending;
+  c.eval_list.swap(p.worklist);
+  for (Module* m : c.eval_list) {
+    m->comb_dirty_ = false;
+    ++c.evals;
+    c.tracer.begin(c.stamp_tag | ++c.stamp_count);
+    {
+      TraceGuard guard(&c.tracer);
+      try {
+        m->eval_comb();
+      } catch (...) {
+        SignalBase::write_sink_ = nullptr;
+        throw;  // drain() records it; recovery requires reset(), as ever
+      }
+    }
+    // Defer the fanout merge: fanout_/last_reader_ are shared across
+    // partitions (CDC readers), so workers only *read* them here.
+    for (SignalBase* s : c.tracer.reads())
+      if (s->last_reader_ != m) c.merges.emplace_back(s, m);
+  }
+  c.eval_list.clear();
+  SignalBase::write_sink_ = nullptr;
+}
 
 Simulator::Simulator(Module& top, Options opt) : top_(top), opt_(opt) {
   HWPAT_ASSERT(opt_.delta_limit > 0);
   if (opt_.tick_ps <= 0)
     throw Error("Simulator options: tick_ps must be positive, got " +
                 std::to_string(opt_.tick_ps));
+  if (opt_.threads < 0)
+    throw Error("Simulator options: threads must be >= 0, got " +
+                std::to_string(opt_.threads));
   top_.visit([this](Module& m) {
     modules_.push_back(&m);
     for (SignalBase* s : m.signals()) signals_.push_back(s);
   });
   bind();
   stats_.domain_edges.assign(scheds_.size(), 0);
+  // The parallel settle engine needs several partitions and the event
+  // kernel; threads are clamped to the domain count (a worker per dirty
+  // partition per delta is the maximum useful parallelism).  threads=1
+  // deliberately still routes through the engine's dispatch path — with
+  // zero workers — so thread-sweep parity tests cover the machinery
+  // itself, not just the counters.
+  const int contexts =
+      std::min<int>(opt_.threads, static_cast<int>(scheds_.size()));
+  if (!opt_.full_sweep && contexts >= 1 && scheds_.size() > 1)
+    par_ = std::make_unique<ParallelSettle>(this, contexts);
 }
 
-Simulator::~Simulator() { unbind(); }
+Simulator::~Simulator() {
+  par_.reset();  // join the workers before tearing the binding down
+  unbind();
+}
 
 void Simulator::bind() {
   for (std::size_t i = 0; i < modules_.size(); ++i) {
@@ -28,6 +215,7 @@ void Simulator::bind() {
     m->sim_id_ = static_cast<int>(i);
     m->comb_dirty_ = false;
     m->seq_declared_ = false;
+    m->no_clock_ = false;
     m->seq_touched_ = false;
     m->seq_signals_.clear();
     m->seq_queue_ = opt_.full_sweep ? nullptr : &touched_;
@@ -42,21 +230,27 @@ void Simulator::bind() {
     s->read_stamp_ = 0;
     s->fanout_.clear();
     s->last_reader_ = nullptr;
-    s->queue_ = opt_.full_sweep ? nullptr : &pending_;
   }
   // Signal domain-affinity: the owner module's partition by default,
   // refined to the *writer's* partition for declared register signals
   // (the declaring module is the writer of its registers).  Resolved
-  // here, at elaboration, like the module partitions themselves.
+  // here, at elaboration, like the module partitions themselves — and
+  // fused into the signal's pending-commit routing: write() enqueues
+  // straight onto the partition's own pending list.
   for (SignalBase* s : signals_) s->part_ = s->owner().part_;
   for (Module* m : modules_)
     for (SignalBase* s : m->seq_signals_) s->part_ = m->part_;
+  for (SignalBase* s : signals_)
+    s->queue_ = opt_.full_sweep
+                    ? nullptr
+                    : &parts_[static_cast<std::size_t>(s->part_)].pending;
+  pend_mark_.assign(parts_.size(), 0);
   if (!opt_.full_sweep) {
-    // Writes made before binding never reached the pending list, and no
-    // sensitivity is known yet: make the first settle a full one.
+    // Writes made before binding never reached the pending lists, and
+    // no sensitivity is known yet: make the first settle a full one.
     for (SignalBase* s : signals_) {
       s->pending_ = true;
-      pending_.push_back(s);
+      s->queue_->push_back(s);
     }
     mark_all_modules_dirty();
   }
@@ -89,14 +283,29 @@ void Simulator::build_domains() {
       eff = effective[static_cast<std::size_t>(m->parent()->sim_id_)];
     effective[i] = eff;
     const std::size_t di = sched_index_for(eff);
-    scheds_[di].active.push_back(m);
-    if (!opt_.full_sweep && m->opaque_state())
-      scheds_[di].opaque.push_back(m);
+    // declare_comb_only() modules are clocked by the domain in name
+    // only: their on_clock() is the empty default, so they are pruned
+    // from the activation list outright — an edge does not even pay
+    // the empty virtual call (pruned_ keeps act_skips accounting to
+    // the historical "modules clocked elsewhere" meaning).
+    if (m->comb_only()) {
+      ++scheds_[di].pruned;
+    } else {
+      scheds_[di].active.push_back(m);
+      if (!opt_.full_sweep && m->opaque_state())
+        scheds_[di].opaque.push_back(m);
+      if (m->has_clock_check()) scheds_[di].checkers.push_back(m);
+    }
     // The settle partition IS the domain: one dirty worklist per domain.
     HWPAT_ASSERT(di <= INT16_MAX);
     m->part_ = static_cast<std::int16_t>(di);
   }
   parts_.assign(scheds_.size(), Partition{});
+  // Fuse each module's worklist into the module itself: the dirty-mark
+  // fast path chases one pointer instead of indexing parts_ (parts_ is
+  // never resized after this point, so the pointers stay valid).
+  for (Module* m : modules_)
+    m->work_queue_ = &parts_[static_cast<std::size_t>(m->part_)].worklist;
   dirty_parts_.clear();
   single_part_ = scheds_.size() == 1;
   build_edge_heap();
@@ -134,9 +343,11 @@ void Simulator::unbind() {
     m->part_ = -1;
     m->comb_dirty_ = false;
     m->seq_declared_ = false;
+    m->no_clock_ = false;
     m->seq_touched_ = false;
     m->seq_signals_.clear();
     m->seq_queue_ = nullptr;
+    m->work_queue_ = nullptr;
   }
   for (SignalBase* s : signals_) {
     s->id_ = -1;
@@ -153,7 +364,10 @@ void Simulator::unbind() {
 Simulator::DomainInfo Simulator::domain_info(std::size_t i) const {
   HWPAT_ASSERT(i < scheds_.size());
   const DomainSched& ds = scheds_[i];
-  return DomainInfo{ds.name, ds.period, ds.phase, ds.active.size()};
+  // modules = everything clocked by the domain, including comb-only
+  // modules pruned from the activation list.
+  return DomainInfo{ds.name, ds.period, ds.phase,
+                    ds.active.size() + ds.pruned};
 }
 
 void Simulator::reset_stats() {
@@ -249,8 +463,8 @@ void Simulator::eval_traced(Module* m) {
   }
 }
 
-void Simulator::commit_pending() {
-  for (SignalBase* s : pending_) {
+void Simulator::drain_pending(Partition& part) {
+  for (SignalBase* s : part.pending) {
     s->pending_ = false;
     ++stats_.commits;
     if (!s->commit_fast()) continue;
@@ -258,26 +472,33 @@ void Simulator::commit_pending() {
     if (vcd_) mark_vcd_change(s);
     for (Module* m : s->fanout_) mark_module_dirty(m);
   }
-  pending_.clear();
+  part.pending.clear();
+}
+
+void Simulator::commit_pending() {
+  // Ascending partition order, always on the coordinating thread —
+  // commit order is therefore deterministic and thread-count invariant
+  // (not that order matters for values: each signal commits at most
+  // once per drain, and the VCD writer sorts by declaration id).
+  if (single_part_) {
+    drain_pending(parts_[0]);
+    return;
+  }
+  for (Partition& part : parts_) {
+    if (!part.pending.empty()) drain_pending(part);
+  }
 }
 
 void Simulator::settle_event() {
-  commit_pending();
-  // One settle = a global delta fixpoint, but the worklists are
-  // partitioned by clock domain: each delta visits only the partitions
-  // holding dirty modules, and a partition never reached from the
-  // firing domains' dirty sets (through fanout arcs — cross-partition
-  // ones are the CDC boundary, by the contract in README.md) is never
-  // even looked at.  The per-delta eval set is identical to the former
-  // single-worklist loop, so both kernels' semantics and the
-  // pre-existing counters are unchanged; partition_settles /
-  // partition_skips make the skipped quiet subtrees measurable.
   if (single_part_) {
     // Single-domain fast path: one partition, no bucketing to do (and
     // mark_module_dirty() maintains no dirty_parts_ either) — the
     // per-delta loop must stay as lean as before partitioning (a full
     // step is ~200 ns on the flagship design; every swap counts).
+    // drain_pending() is called with the partition in hand, skipping
+    // commit_pending()'s re-dispatch.
     Partition& p = parts_[0];
+    drain_pending(p);
     if (p.worklist.empty()) {
       ++stats_.partition_skips;
       return;
@@ -292,16 +513,28 @@ void Simulator::settle_event() {
         eval_traced(m);
       }
       eval_list_.clear();
-      commit_pending();
+      drain_pending(p);
     }
     return;
   }
+  commit_pending();
+  // One settle = a global delta fixpoint, but the worklists are
+  // partitioned by clock domain: each delta visits only the partitions
+  // holding dirty modules, and a partition never reached from the
+  // firing domains' dirty sets (through fanout arcs — cross-partition
+  // ones are the CDC boundary, by the contract in README.md) is never
+  // even looked at.  The per-delta eval set is identical to the former
+  // single-worklist loop, so both kernels' semantics and the
+  // pre-existing counters are unchanged; partition_settles /
+  // partition_skips make the skipped quiet subtrees measurable.
   ++settle_seq_;
   std::uint64_t touched = 0;
   for (int iter = 0; !dirty_parts_.empty(); ++iter) {
     if (iter >= opt_.delta_limit) throw_comb_loop();
     ++stats_.deltas;
     active_parts_.swap(dirty_parts_);
+    // Bookkeeping stays on the coordinating thread either way: only the
+    // evaluations themselves are (possibly) farmed out.
     for (const std::size_t pi : active_parts_) {
       Partition& p = parts_[pi];
       p.queued = false;
@@ -309,14 +542,45 @@ void Simulator::settle_event() {
         p.settle_seen = settle_seq_;
         ++touched;
       }
+    }
+    if (par_ != nullptr && active_parts_.size() > 1) {
+      // Parallel delta: one context per dirty partition (at most), the
+      // calling thread included.  Same eval set, same per-partition
+      // eval order, same commit order as the sequential loop below —
+      // only the wall-clock interleaving across partitions differs, so
+      // every deterministic counter stays thread-count invariant.
+      par_->run_round(active_parts_);
+      std::exception_ptr err;
+      for (ParallelCtx& c : par_->ctxs()) {
+        stats_.evals += c.evals;
+        c.evals = 0;
+        // Fold deferred fanout merges, single-threaded.  Content is a
+        // set union, so fold order only perturbs fanout *list order*
+        // (never the eval sets or counters downstream).
+        for (const auto& [s, m] : c.merges) {
+          if (s->last_reader_ == m) continue;
+          auto& fo = s->fanout_;
+          if (std::find(fo.begin(), fo.end(), m) == fo.end())
+            fo.push_back(m);
+          s->last_reader_ = m;
+        }
+        c.merges.clear();
+        if (c.error && !err) err = c.error;
+        c.error = nullptr;
+      }
+      if (err) std::rethrow_exception(err);  // reset() to recover, as ever
+    } else {
       // All marks happen inside commit_pending() below, never during
       // evaluation, so swapping each worklist out per delta is safe.
-      eval_list_.swap(p.worklist);
-      for (Module* m : eval_list_) {
-        m->comb_dirty_ = false;
-        eval_traced(m);
+      for (const std::size_t pi : active_parts_) {
+        Partition& p = parts_[pi];
+        eval_list_.swap(p.worklist);
+        for (Module* m : eval_list_) {
+          m->comb_dirty_ = false;
+          eval_traced(m);
+        }
+        eval_list_.clear();
       }
-      eval_list_.clear();
     }
     active_parts_.clear();
     commit_pending();
@@ -336,43 +600,111 @@ std::size_t Simulator::dirty_module_count() const {
   return n;
 }
 
-void Simulator::check_seq_writes(const Module* m, std::size_t first) const {
-  // Best-effort (see Options::check_seq_contract): only signals newly
-  // enqueued during m's on_clock() are attributable to m.
-  if (m->opaque_state()) return;  // undeclared modules may write anything
-  for (std::size_t i = first; i < pending_.size(); ++i) {
-    SignalBase* s = pending_[i];
+void Simulator::record_pend_marks() {
+  for (std::size_t pi = 0; pi < parts_.size(); ++pi)
+    pend_mark_[pi] = parts_[pi].pending.size();
+}
+
+void Simulator::check_seq_writes_in(
+    const Module* m, const std::vector<SignalBase*>& pending,
+    std::size_t first) const {
+  for (std::size_t i = first; i < pending.size(); ++i) {
+    SignalBase* s = pending[i];
     const auto& seq = m->seq_signals_;
     if (std::find(seq.begin(), seq.end(), s) == seq.end())
       throw ProtocolError(
           "module '" + m->full_name() + "': on_clock() wrote signal '" +
           s->full_name() +
           "' which is not in its register_seq() declaration — the "
-          "sequential-state contract is incomplete (or the write belongs "
-          "in eval_comb())");
+          "sequential-state contract is incomplete (or the write "
+          "belongs in eval_comb())");
   }
+}
+
+void Simulator::check_seq_writes(const Module* m) const {
+  // Best-effort (see Options::check_seq_contract): only signals newly
+  // enqueued during m's on_clock() — the entries any partition's
+  // pending list grew beyond pend_mark_ — are attributable to m.
+  if (m->opaque_state()) return;  // undeclared modules may write anything
+  for (std::size_t pi = 0; pi < parts_.size(); ++pi)
+    check_seq_writes_in(m, parts_[pi].pending, pend_mark_[pi]);
 }
 
 void Simulator::fire_edges(bool check_contract) {
+  // Validate phase: every firing checker (strict device), across ALL
+  // firing domains, before any on_clock() anywhere.  The checks read
+  // only settled values, so a ProtocolError here aborts the event with
+  // zero state touched — the transactional guarantee the retried-step
+  // contract rests on.
+  for (const std::size_t di : firing_) {
+    const DomainSched& ds = scheds_[di];
+    for (const Module* m : ds.checkers) m->on_clock_check();
+  }
+  // Mutate phase.
   for (const std::size_t di : firing_) {
     DomainSched& ds = scheds_[di];
-    if (check_contract) {
+    if (!check_contract) {
+      for (Module* m : ds.active) m->on_clock();
+    } else if (single_part_) {
+      // One partition: the pre-call pending mark is one register-held
+      // size, exactly the pre-partition-split cost.
+      const std::vector<SignalBase*>& pending = parts_[0].pending;
       for (Module* m : ds.active) {
-        const std::size_t before = pending_.size();
+        const std::size_t before = pending.size();
         m->on_clock();
-        check_seq_writes(m, before);
+        if (!m->opaque_state())
+          check_seq_writes_in(m, pending, before);
       }
     } else {
-      for (Module* m : ds.active) m->on_clock();
+      for (Module* m : ds.active) {
+        // Opaque modules may write anything: skip the per-partition
+        // pending snapshot their check would ignore anyway.
+        if (m->opaque_state()) {
+          m->on_clock();
+          continue;
+        }
+        record_pend_marks();
+        m->on_clock();
+        check_seq_writes(m);
+      }
     }
+  }
+  // Counter phase: only a completed event counts.  A mid-event throw
+  // (a contract violation above, or a user on_clock() throwing) leaves
+  // every counter exactly as before the event.
+  for (const std::size_t di : firing_) {
+    const DomainSched& ds = scheds_[di];
     ++stats_.edges;
     ++stats_.domain_edges[di];
-    stats_.act_skips += modules_.size() - ds.active.size();
+    // pruned modules are not "skipped visits" — they were never
+    // scheduled — so the counter keeps its historical value exactly.
+    stats_.act_skips += modules_.size() - ds.active.size() - ds.pruned;
   }
 }
 
+void Simulator::abort_edge_event() {
+  // fire_edges() runs straight after a settle, which drains every
+  // pending list — so whatever the lists hold now was enqueued by the
+  // aborted event: un-pend and discard it, leaving the next settle
+  // nothing to leak-commit.  Same for the seq_touch() reports.
+  for (Partition& part : parts_) {
+    for (SignalBase* s : part.pending) {
+      s->pending_ = false;
+      s->discard_write();
+    }
+    part.pending.clear();
+  }
+  for (Module* m : touched_) m->seq_touched_ = false;
+  touched_.clear();
+}
+
 void Simulator::clock_edge_event() {
-  fire_edges(opt_.check_seq_contract);
+  try {
+    fire_edges(opt_.check_seq_contract);
+  } catch (...) {
+    abort_edge_event();
+    throw;
+  }
   // Commits of changed register signals dirty their fanout modules.
   commit_pending();
   // Modules that reported internal-state changes re-evaluate once...
@@ -409,10 +741,13 @@ void Simulator::reset() {
   build_edge_heap();
   // Clear any scheduler state left by writes since the last settle (or
   // by a CombLoopError unwind): reset_value() bypasses write(), so stale
-  // pending entries would otherwise commit garbage later.
-  pending_.clear();
+  // pending entries would otherwise commit garbage later.  firing_ too:
+  // after an exception unwound a clock-edge event, stale indices in it
+  // must not leak into the next step()'s edge accounting.
+  firing_.clear();
   for (Partition& p : parts_) {
     p.worklist.clear();
+    p.pending.clear();
     p.queued = false;
   }
   dirty_parts_.clear();
@@ -441,51 +776,77 @@ void Simulator::reset() {
   }
 }
 
+void Simulator::fire_edges_full_sweep() {
+  try {
+    fire_edges(false);  // the contract check is event-kernel-only
+  } catch (...) {
+    // Full-sweep has no pending lists: the aborted event's writes
+    // landed straight in the signals' next values.  Right after a
+    // settle every next == current, so discarding every write rolls
+    // the event back to a no-op before the throw escapes.
+    for (SignalBase* s : signals_) s->discard_write();
+    throw;
+  }
+  commit_all(nullptr);
+}
+
 void Simulator::step(int n) {
-  // Single-domain fast path: the heap is a 1-element formality (its
-  // order is trivially maintained by bumping next_edge in place), and
-  // on a throw nothing was popped, so retrying re-fires the same tick
-  // with no unwinding bookkeeping at all.
-  const bool single = single_part_;
+  if (single_part_) {
+    // Single-domain specialization: the heap is a 1-element formality
+    // (its order is trivially maintained by bumping next_edge in
+    // place), firing_ is pinned to {0} (pop_due_edges is never called,
+    // and on a throw nothing was popped — retrying re-fires the same
+    // tick with no unwinding bookkeeping at all), and the per-step loop
+    // carries none of the multi-domain pop/re-arm machinery.
+    DomainSched& ds = scheds_[0];
+    if (firing_.empty()) firing_.push_back(0);
+    for (int i = 0; i < n; ++i) {
+      settle();
+      if (opt_.full_sweep) {
+        fire_edges_full_sweep();
+      } else {
+        clock_edge_event();
+      }
+      // Time advances only once the event succeeded: an aborted event
+      // leaves now() (and everything else) untouched.
+      tick_ = ds.next_edge;
+      ds.next_edge += ds.period;
+      settle();
+      ++cycle_;
+      ++stats_.steps;
+      if (vcd_) sample_vcd();
+    }
+    return;
+  }
   for (int i = 0; i < n; ++i) {
     settle();
-    if (single) {
-      // firing_ stays {0} forever in single mode: nothing else writes
-      // it (pop_due_edges is never called), so fill it exactly once.
-      if (firing_.empty()) firing_.push_back(0);
-      tick_ = scheds_[0].next_edge;
-    } else {
-      tick_ = pop_due_edges();
-    }
+    const std::uint64_t t = pop_due_edges();
     try {
       if (opt_.full_sweep) {
-        fire_edges(false);  // the contract check is event-kernel-only
-        commit_all(nullptr);
+        fire_edges_full_sweep();
       } else {
         clock_edge_event();
       }
     } catch (...) {
       // Push the popped edges back un-advanced, so a caught throw (a
       // strict device raising ProtocolError) leaves the heap
-      // consistent and a retried step() re-fires the same tick — the
-      // behaviour of the stateless linear scan the heap replaced.
-      if (!single) {
-        for (const std::size_t di : firing_) {
-          heap_.push_back(di);
-          std::push_heap(heap_.begin(), heap_.end(), EdgeLater{&scheds_});
-        }
+      // consistent and a retried step() re-fires the same tick; clear
+      // firing_ so the aborted event's stale indices can never leak
+      // into later edge accounting (reset() clears it too).  tick_ was
+      // never advanced: an aborted event leaves now() untouched.
+      for (const std::size_t di : firing_) {
+        heap_.push_back(di);
+        std::push_heap(heap_.begin(), heap_.end(), EdgeLater{&scheds_});
       }
+      firing_.clear();
       throw;
     }
-    if (single) {
-      scheds_[0].next_edge += scheds_[0].period;
-    } else {
-      rearm_fired_edges();
-    }
+    tick_ = t;
+    rearm_fired_edges();
     settle();
     ++cycle_;
     ++stats_.steps;
-    sample_vcd();
+    if (vcd_) sample_vcd();
   }
 }
 

@@ -28,16 +28,23 @@
 // tests/test_sim_kernel.cpp and tests/test_multiclock.cpp prove it
 // differentially):
 //
-//  * event-driven (default): write() enqueues signals on a
-//    pending-commit list; settle() drains per-domain dirty-module
-//    worklists seeded from the fanout of committed signals.  The
-//    worklists are *partitioned by clock domain* (every module carries
-//    a domain-affinity partition resolved at elaboration): a settle
+//  * event-driven (default): write() enqueues signals on the writer's
+//    *per-partition* pending-commit list; settle() drains per-domain
+//    dirty-module worklists seeded from the fanout of committed
+//    signals.  Both the worklists and the pending lists are
+//    *partitioned by clock domain* (every module and signal carries a
+//    domain-affinity partition resolved at elaboration): a settle
 //    visits only the partitions reachable from the firing domains'
 //    dirty sets, so an edge in one domain leaves another domain's quiet
 //    subtree entirely untouched (Stats::partition_settles /
 //    partition_skips account for it; semantics are unchanged because
-//    the per-delta eval set is the same, merely bucketed).  Module
+//    the per-delta eval set is the same, merely bucketed).  With
+//    Options::threads > 0 dirty partitions of one delta are drained
+//    concurrently by a persistent worker pool — each worker owns its
+//    partition's worklist and pending list for the delta, the per-delta
+//    commit (single-threaded, ascending partition order) is the only
+//    barrier, and the deterministic counters and VCD bytes are
+//    thread-count invariant.  Module
 //    sensitivity is discovered dynamically by tracing which signals
 //    each eval_comb() reads (starting with an instrumented elaboration
 //    settle and kept up to date on every evaluation, so data-dependent
@@ -60,6 +67,7 @@
 // See src/rtl/README.md for the design discussion.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -90,6 +98,17 @@ class Simulator {
     /// only — those cases, and the invisible-internal-state half of
     /// the contract, are covered by the differential tests instead.
     bool check_seq_contract = true;
+    /// Parallel settle: number of execution contexts (the calling
+    /// thread plus threads-1 persistent workers) draining dirty settle
+    /// partitions concurrently — at most one worker per dirty partition
+    /// per delta, with the per-delta commit as the only barrier and the
+    /// CDC arcs as the only cross-partition data paths.  0 (default)
+    /// selects the single-threaded kernel, bit-identical to before the
+    /// engine existed; any value is clamped to the domain count, and
+    /// single-domain or full-sweep simulators ignore it entirely.  The
+    /// deterministic Stats counters and VCD bytes are thread-count
+    /// invariant (gated in CI across 0/1/2/4).
+    int threads = 0;
     /// Physical duration of one scheduler tick in picoseconds; feeds
     /// the VCD `$timescale` so multi-clock traces are time-correct.
     /// Pick the greatest common divisor of the modelled clock periods
@@ -141,7 +160,10 @@ class Simulator {
     std::string name;          ///< domain name ("clk" for the default)
     std::uint64_t period = 1;  ///< ticks between edges
     std::uint64_t phase = 0;   ///< first edge at phase + period
-    std::size_t modules = 0;   ///< activation-list size
+    /// Modules clocked by this domain — including declare_comb_only()
+    /// modules, which are pruned from the activation list itself (so
+    /// this can exceed the number of on_clock() calls per edge).
+    std::size_t modules = 0;
   };
 
   /// Builds a simulator over the design rooted at `top`.  The module
@@ -172,6 +194,36 @@ class Simulator {
       if (n >= max_cycles) throw_run_until_timeout(max_cycles);
       step();
     }
+  }
+
+  /// Domain-filtered run_until: like the two-argument overload, but for
+  /// a predicate that can only change on edges of domain `domain_idx`
+  /// (indexed like domain_info()) — the predicate is skipped after
+  /// events where that domain did not fire, instead of being re-checked
+  /// after every event.  Timeout behaviour and the returned step count
+  /// are identical to the unfiltered overload whenever the stated
+  /// dependency actually holds.
+  template <typename Pred>
+  std::uint64_t run_until(Pred&& pred, std::uint64_t max_cycles,
+                          std::size_t domain_idx) {
+    if (domain_idx >= scheds_.size())
+      throw Error("run_until: domain index " + std::to_string(domain_idx) +
+                  " out of range (design '" + top_.name() + "' has " +
+                  std::to_string(scheds_.size()) + " domains)");
+    if (pred()) return 0;
+    for (std::uint64_t n = 0;;) {
+      if (n >= max_cycles) throw_run_until_timeout(max_cycles);
+      step();
+      ++n;
+      if (last_event_fired(domain_idx) && pred()) return n;
+    }
+  }
+
+  /// True when domain `domain_idx` fired at the most recent clock-edge
+  /// event (false before the first step after construction or reset).
+  [[nodiscard]] bool last_event_fired(std::size_t domain_idx) const {
+    return std::find(firing_.begin(), firing_.end(), domain_idx) !=
+           firing_.end();
   }
 
   /// Settles combinational logic without a clock edge (for comb-only
@@ -211,8 +263,18 @@ class Simulator {
     std::uint64_t period = 1;
     std::uint64_t phase = 0;
     std::uint64_t next_edge = 1;
-    std::vector<Module*> active;  ///< modules clocked by this domain
+    /// Modules clocked by this domain whose on_clock() actually runs —
+    /// declare_comb_only() modules are pruned out entirely.
+    std::vector<Module*> active;
+    /// Count of comb-only modules pruned from `active` (keeps the
+    /// act_skips accounting and DomainInfo::modules at their
+    /// historical, pre-pruning meaning).
+    std::size_t pruned = 0;
     std::vector<Module*> opaque;  ///< active subset without declarations
+    /// Active subset that opted into the on_clock_check() validate
+    /// phase (strict devices).  Empty for most designs, so the extra
+    /// per-edge pass costs nothing unless a strict device exists.
+    std::vector<Module*> checkers;
   };
 
   /// Heap order for the tick-ordered edge scheduler: a min-heap on
@@ -249,10 +311,13 @@ class Simulator {
   void commit_all(bool* changed);
   void settle_full_sweep();
   void settle_event();
-  /// Commits every signal on the pending list; fanout modules of signals
-  /// whose value changed are pushed onto their partition's dirty
-  /// worklist.
+  /// Commits every signal on every partition's pending list (ascending
+  /// partition order); fanout modules of signals whose value changed
+  /// are pushed onto their partition's dirty worklist.
   void commit_pending();
+  /// One partition's share of commit_pending().
+  struct Partition;
+  void drain_pending(Partition& part);
   /// Runs one eval_comb() under the read tracer and folds newly observed
   /// reads into the signals' fanout lists.
   void eval_traced(Module* m);
@@ -260,31 +325,66 @@ class Simulator {
   void mark_module_dirty(Module* m) {
     if (!m->comb_dirty_) {
       m->comb_dirty_ = true;
-      if (single_part_) {  // one partition: no bucketing bookkeeping
-        parts_[0].worklist.push_back(m);
-        return;
-      }
-      Partition& p = parts_[static_cast<std::size_t>(m->part_)];
-      p.worklist.push_back(m);
-      if (!p.queued) {
-        p.queued = true;
-        dirty_parts_.push_back(static_cast<std::size_t>(m->part_));
+      // The partition's worklist is fused into the module at
+      // elaboration (work_queue_): the single-partition fast path is a
+      // flag test and one pointer chase, no index or branch.
+      m->work_queue_->push_back(m);
+      if (!single_part_) {
+        Partition& p = parts_[static_cast<std::size_t>(m->part_)];
+        if (!p.queued) {
+          p.queued = true;
+          dirty_parts_.push_back(static_cast<std::size_t>(m->part_));
+        }
       }
     }
   }
   /// Modules currently on a dirty worklist, summed over partitions.
   [[nodiscard]] std::size_t dirty_module_count() const;
-  /// Runs the on_clock() of every firing domain's activation list and
-  /// accounts the edge counters — shared by both kernels so their
-  /// Stats can never desynchronize.
+  /// Runs one clock-edge event's module work *transactionally* — shared
+  /// by both kernels so their Stats can never desynchronize:
+  ///   1. validate phase: on_clock_check() of every firing checker,
+  ///      across all firing domains, before any state advances — a
+  ///      strict device's ProtocolError aborts the event as a no-op;
+  ///   2. mutate phase: on_clock() of every firing activation list
+  ///      (with the sequential-write contract check when asked);
+  ///   3. counter phase: edges/domain_edges/act_skips, bumped only once
+  ///      the whole event succeeded.
   void fire_edges(bool check_contract);
+  /// fire_edges() + commit for the full-sweep kernel, with the aborted
+  /// event's direct next-value writes discarded on a throw.
+  void fire_edges_full_sweep();
   /// fire_edges() plus the event kernel's post-edge scheduling: fanout
   /// of changed register signals (via commit_pending()), seq_touch()
-  /// reporters, and the firing domains' opaque_state modules.
+  /// reporters, and the firing domains' opaque_state modules.  On a
+  /// mid-event throw the pending writes and seq_touch() reports of the
+  /// aborted event are rolled back (abort_edge_event) before
+  /// rethrowing.
   void clock_edge_event();
+  /// Rolls back the bufferable side effects of an aborted clock-edge
+  /// event: drains every partition's pending list (discarding the
+  /// written next-values) and the touched-module list.  The lists held
+  /// only this event's entries — fire_edges() runs straight after a
+  /// settle, which leaves them empty.
+  void abort_edge_event();
   /// Verifies that a declared module's on_clock() only wrote registered
-  /// signals (entries pending_[first..]); throws ProtocolError if not.
-  void check_seq_writes(const Module* m, std::size_t first) const;
+  /// signals — the entries its call appended beyond pend_mark_ on any
+  /// partition's pending list; throws ProtocolError if not.
+  void check_seq_writes(const Module* m) const;
+  /// One-list body of check_seq_writes: entries pending[first..] must
+  /// all be in m's register_seq() declaration.
+  void check_seq_writes_in(const Module* m,
+                           const std::vector<SignalBase*>& pending,
+                           std::size_t first) const;
+  /// Snapshots every partition's pending-list size into pend_mark_
+  /// (the per-module baseline for check_seq_writes).
+  void record_pend_marks();
+  /// Drains dirty partition `pi` for one delta inside a parallel settle
+  /// round: evaluations run under `ctx`'s tracer with writes rerouted
+  /// to the partition's pending list via the thread-local sink, and
+  /// fanout merges are deferred into the context (folded single-threaded
+  /// after the round's barrier).
+  struct ParallelCtx;
+  void drain_partition_parallel(std::size_t pi, ParallelCtx& ctx);
   void mark_vcd_change(SignalBase* s);
   void sample_vcd();
   [[noreturn]] void throw_comb_loop() const;
@@ -315,6 +415,11 @@ class Simulator {
   /// foreign partition; everything else leaves it untouched.
   struct Partition {
     std::vector<Module*> worklist;  ///< dirty modules, next delta
+    /// Signals awaiting commit whose writer routed here — the signal's
+    /// own partition from Signal::write() (resolved at elaboration into
+    /// SignalBase::queue_), or the draining worker's partition inside a
+    /// parallel settle.  Only ever touched by one thread at a time.
+    std::vector<SignalBase*> pending;
     bool queued = false;            ///< on dirty_parts_
     std::uint64_t settle_seen = 0;  ///< last settle_seq_ that touched it
   };
@@ -324,10 +429,16 @@ class Simulator {
   std::uint64_t settle_seq_ = 0;           ///< unique id per settle_event()
   bool single_part_ = true;  ///< one partition: skip bucketing bookkeeping
 
+  /// Persistent worker pool for the parallel settle (Options::threads);
+  /// nullptr when the engine is off (threads == 0, full-sweep, or a
+  /// single-partition design).  Defined in simulator.cpp.
+  struct ParallelSettle;
+  std::unique_ptr<ParallelSettle> par_;
+
   // Event-driven kernel state.
-  std::vector<SignalBase*> pending_;      ///< signals awaiting commit
   std::vector<Module*> eval_list_;        ///< dirty modules, this delta
   std::vector<Module*> touched_;          ///< seq_touch() reporters, this edge
+  std::vector<std::size_t> pend_mark_;    ///< pending sizes, contract check
   ReadTracer tracer_;
   std::uint64_t eval_stamp_ = 0;          ///< unique id per traced eval
   std::vector<SignalBase*> vcd_changed_;  ///< changed since last sample

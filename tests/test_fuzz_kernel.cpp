@@ -4,11 +4,20 @@
 // module graph over 1–4 clock domains with random periods and phases
 // (including coprime ratios), mixing declared registers, combinational
 // mixers with data-dependent reads, internal-state accumulators
-// (seq_touch()), and opaque modules (no declaration, conservative
-// path) — and simulated twice: once under the event-driven kernel,
-// once under the full-sweep reference.  Cycle counts, tick counts,
-// every signal's final value, the per-domain edge statistics and the
-// *bytes* of the VCD waveform must agree exactly.
+// (seq_touch()), opaque modules (no declaration, conservative path),
+// exotic signal widths (1/63/64-bit among the ordinary ones, stressing
+// the VCD emitter and the Bus truncation boundary), and optionally
+// strict-mode devices (a sync FifoCore and a dual-clock AsyncFifo)
+// driven without backpressure so their ProtocolErrors actually fire:
+// the harness catches each throw, suppresses the enables for the
+// retried tick, and re-enables afterwards — exercising the
+// transactional clock-edge contract on designs nobody hand-wrote.
+// Each design is simulated twice — once under the event-driven kernel,
+// once under the full-sweep reference — and, when multi-domain, again
+// under the parallel settle engine at threads 1, 2 and 4.  Cycle
+// counts, tick counts, every signal's final value, the per-domain edge
+// statistics, the caught-throw count and the *bytes* of the VCD
+// waveform must agree exactly across all of them.
 //
 // Every future scheduler change is thereby checked against the
 // reference on designs nobody hand-wrote.  On failure the seed is in
@@ -28,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "devices/async_fifo.hpp"
+#include "devices/fifo.hpp"
 #include "rtl/clock.hpp"
 #include "rtl/simulator.hpp"
 #include "tb_util.hpp"
@@ -35,6 +46,7 @@
 namespace hwpat {
 namespace {
 
+using rtl::Bit;
 using rtl::Bus;
 using rtl::ClockDomain;
 using rtl::Module;
@@ -73,7 +85,8 @@ struct FuzzComb : Module {
   void eval_comb() override {
     out.write((a.read() ^ (b.read() << 1)) + k);
   }
-  void declare_state() override { declare_seq_state(); }
+  // Pure comb: pruned from the activation list (declare_comb_only).
+  void declare_state() override { declare_comb_only(); }
 };
 
 /// Data-dependent reads: out = sel's low bit ? a : b.  Exercises the
@@ -89,7 +102,7 @@ struct FuzzMux : Module {
   void eval_comb() override {
     out.write((sel.read() & 1) != 0 ? a.read() : b.read());
   }
-  void declare_state() override { declare_seq_state(); }
+  void declare_state() override { declare_comb_only(); }
 };
 
 /// Internal C++ state read by eval_comb(): the seq_touch() half of the
@@ -113,6 +126,73 @@ struct FuzzAccum : Module {
   }
   void on_reset() override { acc = 0; }
   void declare_state() override { declare_seq_state(); }
+};
+
+/// Strict sync FIFO under suppressible random pressure: the enables
+/// come straight from random top wires with NO backpressure gating, so
+/// underflow/overflow ProtocolErrors genuinely fire; the shared
+/// `suppress` bit (written by the harness after a catch) forces both
+/// enables low so the retried tick succeeds.
+struct FuzzStrictFifo : Module {
+  Bit wr_en{*this, "wr_en"};
+  Bit rd_en{*this, "rd_en"};
+  Bit empty{*this, "empty"};
+  Bit full{*this, "full"};
+  Bus wr_data{*this, "wr_data", 8};
+  Bus rd_data{*this, "rd_data", 8};
+  Bus level{*this, "level", 8};
+  const Bus& a;
+  const Bus& b;
+  const Bit& suppress;
+  devices::FifoCore fifo;
+  FuzzStrictFifo(Module* parent, std::string name, const Bus& ia,
+                 const Bus& ib, const Bit& sup)
+      : Module(parent, std::move(name)),
+        a(ia),
+        b(ib),
+        suppress(sup),
+        fifo(this, "fifo", {.width = 8, .depth = 2, .strict = true},
+             {wr_en, wr_data, rd_en, rd_data, empty, full, level}) {}
+  void eval_comb() override {
+    const bool sup = suppress.read();
+    wr_en.write(!sup && (a.read() & 1) != 0);
+    rd_en.write(!sup && (b.read() & 1) != 0);
+    wr_data.write(a.read() ^ (b.read() << 2));
+  }
+  void declare_state() override { declare_comb_only(); }
+};
+
+/// Same pressure pattern over the dual-clock AsyncFifo (the two sides
+/// on harness-chosen, possibly distinct, domains).
+struct FuzzStrictAsync : Module {
+  Bit wr_en{*this, "wr_en"};
+  Bit rd_en{*this, "rd_en"};
+  Bit empty{*this, "empty"};
+  Bit full{*this, "full"};
+  Bus wr_data{*this, "wr_data", 8};
+  Bus rd_data{*this, "rd_data", 8};
+  const Bus& a;
+  const Bus& b;
+  const Bit& suppress;
+  devices::AsyncFifo fifo;
+  FuzzStrictAsync(Module* parent, std::string name, const Bus& ia,
+                  const Bus& ib, const Bit& sup,
+                  const ClockDomain* wr_domain,
+                  const ClockDomain* rd_domain)
+      : Module(parent, std::move(name)),
+        a(ia),
+        b(ib),
+        suppress(sup),
+        fifo(this, "afifo", {.width = 8, .depth = 2, .strict = true},
+             {wr_en, wr_data, full, rd_en, rd_data, empty}, wr_domain,
+             rd_domain) {}
+  void eval_comb() override {
+    const bool sup = suppress.read();
+    wr_en.write(!sup && (a.read() & 2) != 0);
+    rd_en.write(!sup && (b.read() & 2) != 0);
+    wr_data.write((a.read() << 1) ^ b.read());
+  }
+  void declare_state() override { declare_comb_only(); }
 };
 
 /// No declaration at all: the conservative opaque fallback path.
@@ -164,13 +244,21 @@ struct FuzzDesign : Module {
     }
     if (pick(0, 1) != 0) set_clock_domain(domains[0].get());
 
-    // All wires first (owned by the top, like design port bundles)...
+    // All wires first (owned by the top, like design port bundles).
+    // Mostly ordinary widths, with occasional 1/63/64-bit extremes to
+    // stress the single-bit VCD form, the 64-bit emit loop and the Bus
+    // truncation boundary (mask_of(64) must not shift by 64).
     const int nmod = pick(8, 20);
     for (int i = 0; i < nmod; ++i) {
       std::string wn = "w";
       wn += std::to_string(i);
+      const int sel = pick(0, 11);
+      const int width = sel == 0   ? 1
+                        : sel == 1 ? 63
+                        : sel == 2 ? 64
+                                   : pick(4, 16);
       wires.push_back(
-          std::make_unique<Bus>(*this, std::move(wn), pick(4, 16)));
+          std::make_unique<Bus>(*this, std::move(wn), width));
     }
 
     // ...then the modules.  Module i drives wire i.  Combinational
@@ -240,8 +328,34 @@ struct FuzzDesign : Module {
         mods.back()->set_clock_domain(domains[static_cast<std::size_t>(d)]
                                           .get());
     }
+
+    // Half the seeds add strict-mode devices under suppressible random
+    // pressure: a sync FifoCore and a dual-clock AsyncFifo whose
+    // ProtocolErrors the harness catches and retries (see run_kernel).
+    if (pick(0, 1) != 0) {
+      suppress = std::make_unique<Bit>(*this, "suppress");
+      const Bus* a = wires[rng() % wires.size()].get();
+      const Bus* b = wires[rng() % wires.size()].get();
+      strict_sync = std::make_unique<FuzzStrictFifo>(this, "sfifo", *a,
+                                                     *b, *suppress);
+      if (const int d = pick(0, ndom); d < ndom)
+        strict_sync->set_clock_domain(
+            domains[static_cast<std::size_t>(d)].get());
+      const Bus* c = wires[rng() % wires.size()].get();
+      const Bus* e = wires[rng() % wires.size()].get();
+      const ClockDomain* wd =
+          domains[rng() % static_cast<unsigned>(ndom)].get();
+      const ClockDomain* rd =
+          domains[rng() % static_cast<unsigned>(ndom)].get();
+      strict_async = std::make_unique<FuzzStrictAsync>(
+          this, "safifo", *c, *e, *suppress, wd, rd);
+    }
     steps = pick(30, 120);
   }
+
+  std::unique_ptr<Bit> suppress;  ///< harness-written strict-retry gate
+  std::unique_ptr<FuzzStrictFifo> strict_sync;
+  std::unique_ptr<FuzzStrictAsync> strict_async;
 
   void declare_state() override { declare_seq_state(); }
 };
@@ -253,21 +367,41 @@ struct FuzzDesign : Module {
 struct RunResult {
   std::uint64_t cycles = 0;
   std::uint64_t ticks = 0;
+  std::uint64_t throws = 0;  ///< caught-and-retried ProtocolErrors
   std::vector<Word> values;
   std::string vcd;
   Simulator::Stats stats;
 };
 
-RunResult run_kernel(unsigned seed, bool full_sweep) {
+RunResult run_kernel(unsigned seed, bool full_sweep, int threads = 0) {
   FuzzDesign d(seed);
   const std::string path = "fuzz_" + std::to_string(seed) +
-                           (full_sweep ? "_ref.vcd" : "_evt.vcd");
+                           (full_sweep ? "_ref" : "_evt") +
+                           (threads > 0 ? "_t" + std::to_string(threads)
+                                        : std::string()) +
+                           ".vcd";
   RunResult out;
   {
-    Simulator sim(d, {.full_sweep = full_sweep});
+    Simulator sim(d, {.full_sweep = full_sweep, .threads = threads});
     sim.open_vcd(path);
     sim.reset();
-    sim.step(d.steps);
+    for (int i = 0; i < d.steps; ++i) {
+      // Caught-and-retried strict throws: suppress the enables, re-fire
+      // the same tick (which must now succeed — the transactional edge
+      // contract guarantees the aborted attempt left no trace), then
+      // re-enable the pressure for the next step.
+      for (int tries = 0;; ++tries) {
+        try {
+          sim.step();
+          break;
+        } catch (const ProtocolError&) {
+          if (d.suppress == nullptr || tries > 0) throw;
+          ++out.throws;
+          d.suppress->write(true);
+        }
+      }
+      if (d.suppress != nullptr) d.suppress->write(false);
+    }
     out.cycles = sim.cycle();
     out.ticks = sim.now();
     out.stats = sim.stats();
@@ -287,6 +421,7 @@ TEST(FuzzKernel, EventKernelMatchesFullSweepOnRandomDesigns) {
   const unsigned base = env_or("HWPAT_FUZZ_BASE", 1);
   const unsigned count = env_or("HWPAT_FUZZ_SEEDS", 120);
   std::uint64_t multi_domain = 0, with_partition_skips = 0;
+  std::uint64_t strict_throws = 0;
   for (unsigned seed = base; seed < base + count; ++seed) {
     SCOPED_TRACE("seed=" + std::to_string(seed) +
                  " (replay: HWPAT_FUZZ_BASE=" + std::to_string(seed) +
@@ -298,16 +433,48 @@ TEST(FuzzKernel, EventKernelMatchesFullSweepOnRandomDesigns) {
     ASSERT_EQ(evt.values, ref.values);
     ASSERT_EQ(evt.stats.edges, ref.stats.edges);
     ASSERT_EQ(evt.stats.domain_edges, ref.stats.domain_edges);
+    // Both kernels must hit (and roll back) the same strict-device
+    // throws at the same steps — the shared validate phase guarantees
+    // the conditions are evaluated on identical settled values.
+    ASSERT_EQ(evt.throws, ref.throws);
     ASSERT_EQ(evt.vcd, ref.vcd) << "VCD bytes differ";
     // The event kernel must never do more comb work than the sweep.
     ASSERT_LE(evt.stats.evals, ref.stats.evals);
-    if (evt.stats.domain_edges.size() > 1) ++multi_domain;
+    strict_throws += evt.throws;
     if (evt.stats.partition_skips > 0) ++with_partition_skips;
+    if (evt.stats.domain_edges.size() > 1) {
+      ++multi_domain;
+      // Thread-count sweep: the parallel settle engine must reproduce
+      // the single-threaded event kernel bit for bit — same values,
+      // same deterministic counters, same caught throws, same VCD.
+      for (const int threads : {1, 2, 4}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const RunResult par = run_kernel(seed, false, threads);
+        ASSERT_EQ(par.cycles, evt.cycles);
+        ASSERT_EQ(par.ticks, evt.ticks);
+        ASSERT_EQ(par.values, evt.values);
+        ASSERT_EQ(par.throws, evt.throws);
+        ASSERT_EQ(par.stats.evals, evt.stats.evals);
+        ASSERT_EQ(par.stats.commits, evt.stats.commits);
+        ASSERT_EQ(par.stats.deltas, evt.stats.deltas);
+        ASSERT_EQ(par.stats.seq_skips, evt.stats.seq_skips);
+        ASSERT_EQ(par.stats.partition_settles,
+                  evt.stats.partition_settles);
+        ASSERT_EQ(par.stats.partition_skips, evt.stats.partition_skips);
+        ASSERT_EQ(par.stats.edges, evt.stats.edges);
+        ASSERT_EQ(par.stats.domain_edges, evt.stats.domain_edges);
+        ASSERT_EQ(par.vcd, evt.vcd) << "VCD bytes differ";
+      }
+    }
   }
   // The generator must actually exercise the multi-domain machinery,
-  // not degenerate into single-clock designs.
+  // not degenerate into single-clock designs — and the strict devices
+  // must genuinely throw (and be retried) somewhere in the sweep.
   EXPECT_GT(multi_domain, count / 2);
   EXPECT_GT(with_partition_skips, 0u);
+  if (count >= 20) {
+    EXPECT_GT(strict_throws, 0u);
+  }
 }
 
 }  // namespace
