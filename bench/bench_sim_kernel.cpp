@@ -82,7 +82,72 @@ void BM_BlurPattern(benchmark::State& state) {
   report(state, cycles, stats);
 }
 
+// ------------------------------------------------------------ snapshot
+// Checkpoint cost on a warmed-up (mid-frame, cycle 500) simulator: one
+// iteration is one save_snapshot() or one restore_snapshot(), so the
+// reported per-iteration time is the µs cost of a checkpoint or a
+// rollback; blob_bytes is the serialized checkpoint size.  Measured on
+// the flagship single-clock design and on the tri-clock capture farm
+// (three domains, three lanes, async-FIFO CDC) whose heap/partition
+// state makes restore do the most rebuilding.
+
+std::unique_ptr<designs::VideoDesign> make_flagship() {
+  return designs::make_saa2vga_pattern(
+      {.width = 48, .height = 32, .buffer_depth = 64, .frames = 1});
+}
+
+std::unique_ptr<designs::VideoDesign> make_farm() {
+  return designs::make_saa2vga_triclk({.width = 16,
+                                       .height = 12,
+                                       .cdc_depth = 16,
+                                       .frames = 1,
+                                       .lanes = 3});
+}
+
+void warm_up(designs::VideoDesign& d, rtl::Simulator& sim) {
+  sim.reset();
+  sim.run_until([&] { return d.finished() || sim.cycle() >= 500; },
+                1'000'000);
+}
+
+void BM_SnapshotSave(benchmark::State& state,
+                     std::unique_ptr<designs::VideoDesign> (*make)()) {
+  auto d = make();
+  rtl::Simulator sim(*d, {});
+  warm_up(*d, sim);
+  rtl::Snapshot blob;
+  for (auto _ : state) {
+    blob = sim.save_snapshot();
+    benchmark::DoNotOptimize(blob.bytes().data());
+  }
+  state.counters["blob_bytes"] =
+      benchmark::Counter(static_cast<double>(blob.size_bytes()));
+}
+
+void BM_SnapshotRestore(benchmark::State& state,
+                        std::unique_ptr<designs::VideoDesign> (*make)()) {
+  auto d = make();
+  rtl::Simulator sim(*d, {});
+  warm_up(*d, sim);
+  const rtl::Snapshot blob = sim.save_snapshot();
+  for (auto _ : state) {
+    sim.restore_snapshot(blob);
+    benchmark::DoNotOptimize(sim.cycle());
+  }
+  state.counters["blob_bytes"] =
+      benchmark::Counter(static_cast<double>(blob.size_bytes()));
+}
+
 }  // namespace
+
+BENCHMARK_CAPTURE(BM_SnapshotSave, flagship, &make_flagship)
+    ->Name("snapshot/save/saa2vga_pattern_48x32");
+BENCHMARK_CAPTURE(BM_SnapshotRestore, flagship, &make_flagship)
+    ->Name("snapshot/restore/saa2vga_pattern_48x32");
+BENCHMARK_CAPTURE(BM_SnapshotSave, farm, &make_farm)
+    ->Name("snapshot/save/saa2vga_triclk_farm3");
+BENCHMARK_CAPTURE(BM_SnapshotRestore, farm, &make_farm)
+    ->Name("snapshot/restore/saa2vga_triclk_farm3");
 
 BENCHMARK(BM_Saa2VgaPattern<false>)
     ->Name("saa2vga_pattern/event")

@@ -19,6 +19,12 @@
 // thread-count invariant by design, and CI holds the parallel kernel to
 // the exact single-threaded numbers this way.
 //
+// Any mode also accepts `--snapshot`: every scenario then pauses
+// mid-run for a save_snapshot() -> restore_snapshot() -> save round
+// trip (asserting the blobs are bit-identical) and continues against
+// the SAME baselines — CI proves checkpointing a run perturbs zero
+// counters this way.
+//
 // --check fails (exit 1) when any scenario's cycle count differs from
 // the baseline, or when evals/commits exceed the baseline by more than
 // the slack (2%, absorbing innocuous scheduling-order churn).  Doing
@@ -48,6 +54,16 @@ constexpr std::uint64_t kMaxCycles = 2'000'000;
 /// Simulator::Options::threads for every scenario (--threads N); the
 /// counters must not depend on it.
 int g_threads = 0;
+
+/// With --snapshot, every scenario pauses mid-run for a
+/// save -> restore -> save round trip and then continues to the SAME
+/// baselines: checkpointing a run must perturb zero counters.
+bool g_snapshot = false;
+
+/// Mid-run pause point for --snapshot; far enough in that every
+/// scenario's pipeline is streaming, early enough that none has
+/// finished.
+constexpr std::uint64_t kSnapshotAt = 500;
 
 struct Counters {
   std::uint64_t cycles = 0;
@@ -151,6 +167,16 @@ Counters run_scenario(const Scenario& s) {
   auto d = s.make();
   rtl::Simulator sim(*d, {.threads = g_threads});
   sim.reset();
+  if (g_snapshot) {
+    sim.run_until(
+        [&] { return d->finished() || sim.cycle() >= kSnapshotAt; },
+        kMaxCycles);
+    const rtl::Snapshot blob = sim.save_snapshot();
+    sim.restore_snapshot(blob);
+    if (!(sim.save_snapshot() == blob))
+      throw Error("bench_stats_gate: snapshot round trip not bit-stable "
+                  "in scenario '" + s.name + "'");
+  }
   sim.run_until([&] { return d->finished(); }, kMaxCycles);
   return Counters{sim.cycle(),
                   sim.stats().evals,
@@ -415,7 +441,9 @@ int main(int argc, char** argv) {
   bool mode_set = false, path_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threads") {
+    if (arg == "--snapshot") {
+      g_snapshot = true;
+    } else if (arg == "--threads") {
       if (i + 1 >= argc) {
         std::cerr << "bench_stats_gate: --threads needs a value\n";
         return 2;
@@ -443,6 +471,11 @@ int main(int argc, char** argv) {
                 << g_threads << " (counters must match the\n"
                 << "single-threaded baselines exactly — they are "
                    "thread-count invariant)\n";
+    if (g_snapshot)
+      std::cout << "bench_stats_gate: snapshot round trip at cycle "
+                << kSnapshotAt << " of every scenario (counters must\n"
+                << "still match the baselines exactly — checkpointing "
+                   "perturbs nothing)\n";
     if (mode == "--check") return check(path);
     if (mode == "--write") {
       const auto all = run_all();
@@ -456,7 +489,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::cerr << "usage: bench_stats_gate [--check|--write|--print] "
-                 "[baselines.json] [--threads N]\n";
+                 "[baselines.json] [--threads N] [--snapshot]\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "bench_stats_gate: " << e.what() << "\n";

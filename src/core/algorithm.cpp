@@ -209,4 +209,25 @@ void ReduceFsm::report(rtl::PrimitiveTally& t) const {
   t.depth(2);
 }
 
+
+void Algorithm::save_state(rtl::StateWriter& w) const {
+  w.boolean(running_);
+  w.u64(transfers_);
+}
+
+void Algorithm::load_state(rtl::StateReader& r) {
+  running_ = r.boolean();
+  transfers_ = r.u64();
+}
+
+void ReduceFsm::save_state(rtl::StateWriter& w) const {
+  Algorithm::save_state(w);
+  w.word(acc_);
+}
+
+void ReduceFsm::load_state(rtl::StateReader& r) {
+  Algorithm::load_state(r);
+  acc_ = r.word();
+}
+
 }  // namespace hwpat::core

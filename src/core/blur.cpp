@@ -118,4 +118,23 @@ void BlurFsm::report(rtl::PrimitiveTally& t) const {
   t.depth(5);  // the adder tree dominates the combinational path
 }
 
+
+void BlurFsm::save_state(rtl::StateWriter& w) const {
+  Algorithm::save_state(w);
+  w.word(win_[0]);
+  w.word(win_[1]);
+  w.i32(x_);
+  w.i32(row_);
+  w.u64(frames_done_);
+}
+
+void BlurFsm::load_state(rtl::StateReader& r) {
+  Algorithm::load_state(r);
+  win_[0] = r.word();
+  win_[1] = r.word();
+  x_ = r.i32();
+  row_ = r.i32();
+  frames_done_ = r.u64();
+}
+
 }  // namespace hwpat::core

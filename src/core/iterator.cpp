@@ -225,4 +225,21 @@ void VectorSeqIterator::report(rtl::PrimitiveTally& t) const {
   t.depth(2);
 }
 
+
+void VectorRandomIterator::save_state(rtl::StateWriter& w) const {
+  w.word(pos_);
+}
+
+void VectorRandomIterator::load_state(rtl::StateReader& r) {
+  pos_ = r.word();
+}
+
+void VectorSeqIterator::save_state(rtl::StateWriter& w) const {
+  w.word(pos_);
+}
+
+void VectorSeqIterator::load_state(rtl::StateReader& r) {
+  pos_ = r.word();
+}
+
 }  // namespace hwpat::core

@@ -95,4 +95,17 @@ bool BlurCustom::finished() const {
          vga_.frames().size() == static_cast<std::size_t>(cfg_.frames);
 }
 
+
+void BlurCustom::save_state(rtl::StateWriter& w) const {
+  w.word(win_[0]);
+  w.word(win_[1]);
+  w.i32(x_);
+}
+
+void BlurCustom::load_state(rtl::StateReader& r) {
+  win_[0] = r.word();
+  win_[1] = r.word();
+  x_ = r.i32();
+}
+
 }  // namespace hwpat::designs

@@ -72,6 +72,8 @@ class Saa2VgaCustomSram : public VideoDesign {
   void on_clock() override;
   void on_reset() override;
   void declare_state() override;
+  void save_state(rtl::StateWriter& w) const override;
+  void load_state(rtl::StateReader& r) override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const video::VgaSink& sink() const override {

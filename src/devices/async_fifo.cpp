@@ -67,6 +67,9 @@ class AsyncFifo::WriteSide : public rtl::Module {
 
   void on_reset() override { wbin_ = 0; }
 
+  void save_state(rtl::StateWriter& w) const override { w.word(wbin_); }
+  void load_state(rtl::StateReader& r) override { wbin_ = r.word(); }
+
   void declare_state() override {
     register_seq(f_.wptr_gray_);
     register_seq(rsync1_);
@@ -145,6 +148,9 @@ class AsyncFifo::ReadSide : public rtl::Module {
 
   void on_reset() override { rbin_ = 0; }
 
+  void save_state(rtl::StateWriter& w) const override { w.word(rbin_); }
+  void load_state(rtl::StateReader& r) override { rbin_ = r.word(); }
+
   void declare_state() override {
     register_seq(f_.rptr_gray_);
     register_seq(wsync1_);
@@ -189,6 +195,10 @@ AsyncFifo::AsyncFifo(Module* parent, std::string name, AsyncFifoConfig cfg,
 }
 
 AsyncFifo::~AsyncFifo() = default;
+
+void AsyncFifo::save_state(rtl::StateWriter& w) const { w.words(mem_); }
+
+void AsyncFifo::load_state(rtl::StateReader& r) { r.words(mem_); }
 
 int AsyncFifo::size() const {
   return static_cast<int>(wr_->wbin_ - rd_->rbin_);

@@ -72,6 +72,9 @@ class AsyncFifo : public rtl::Module {
   // modules; the wrapper itself has no on_clock() and is pruned from
   // its domain's activation list entirely.
   void declare_state() override { declare_comb_only(); }
+  // Shared storage array; each side serializes its own binary pointer.
+  void save_state(rtl::StateWriter& w) const override;
+  void load_state(rtl::StateReader& r) override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const AsyncFifoConfig& config() const { return cfg_; }

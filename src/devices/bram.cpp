@@ -44,4 +44,9 @@ void BlockRam::report(rtl::PrimitiveTally& t) const {
   t.blockram(bram_macros_for(cfg_.data_width * cfg_.depth));
 }
 
+
+void BlockRam::save_state(rtl::StateWriter& w) const { w.words(mem_); }
+
+void BlockRam::load_state(rtl::StateReader& r) { r.words(mem_); }
+
 }  // namespace hwpat::devices

@@ -101,4 +101,17 @@ void FifoCore::report(rtl::PrimitiveTally& t) const {
   t.depth(2);
 }
 
+
+void FifoCore::save_state(rtl::StateWriter& w) const {
+  w.i32(head_);
+  w.i32(count_);
+  w.words(mem_);
+}
+
+void FifoCore::load_state(rtl::StateReader& r) {
+  head_ = r.i32();
+  count_ = r.i32();
+  r.words(mem_);
+}
+
 }  // namespace hwpat::devices

@@ -99,4 +99,15 @@ void LifoCore::report(rtl::PrimitiveTally& t) const {
   t.depth(2);
 }
 
+
+void LifoCore::save_state(rtl::StateWriter& w) const {
+  w.i32(count_);
+  w.words(mem_);
+}
+
+void LifoCore::load_state(rtl::StateReader& r) {
+  count_ = r.i32();
+  r.words(mem_);
+}
+
 }  // namespace hwpat::devices

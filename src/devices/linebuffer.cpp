@@ -103,4 +103,25 @@ void LineBuffer3::report(rtl::PrimitiveTally& t) const {
   t.depth(2);
 }
 
+
+void LineBuffer3::save_state(rtl::StateWriter& w) const {
+  w.words(line1_);
+  w.words(line2_);
+  w.words(colq_);
+  w.i32(colq_head_);
+  w.i32(colq_count_);
+  w.i32(wr_x_);
+  w.i32(wr_y_);
+}
+
+void LineBuffer3::load_state(rtl::StateReader& r) {
+  r.words(line1_);
+  r.words(line2_);
+  r.words(colq_);
+  colq_head_ = r.i32();
+  colq_count_ = r.i32();
+  wr_x_ = r.i32();
+  wr_y_ = r.i32();
+}
+
 }  // namespace hwpat::devices

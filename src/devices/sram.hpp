@@ -49,6 +49,8 @@ class ExternalSram : public rtl::Module {
   void on_clock() override;
   void on_reset() override;
   void declare_state() override;
+  void save_state(rtl::StateWriter& w) const override;
+  void load_state(rtl::StateReader& r) override;
   // Off-chip: contributes nothing to the FPGA resource tally.
   void report(rtl::PrimitiveTally&) const override {}
 

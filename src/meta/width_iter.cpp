@@ -141,4 +141,27 @@ void WidthAdaptOutputIterator::report(rtl::PrimitiveTally& t) const {
   t.depth(2);
 }
 
+
+void WidthAdaptInputIterator::save_state(rtl::StateWriter& w) const {
+  w.word(asm_reg_);
+  w.i32(lane_);
+  w.boolean(asm_valid_);
+}
+
+void WidthAdaptInputIterator::load_state(rtl::StateReader& r) {
+  asm_reg_ = r.word();
+  lane_ = r.i32();
+  asm_valid_ = r.boolean();
+}
+
+void WidthAdaptOutputIterator::save_state(rtl::StateWriter& w) const {
+  w.word(shift_reg_);
+  w.i32(pending_);
+}
+
+void WidthAdaptOutputIterator::load_state(rtl::StateReader& r) {
+  shift_reg_ = r.word();
+  pending_ = r.i32();
+}
+
 }  // namespace hwpat::meta

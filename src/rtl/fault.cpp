@@ -1,0 +1,62 @@
+#include "rtl/fault.hpp"
+
+#include <cctype>
+
+namespace hwpat::rtl {
+
+const char* fault_point_name(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::None: return "none";
+    case FaultPoint::Check: return "check";
+    case FaultPoint::Edge: return "edge";
+    case FaultPoint::Settle: return "settle";
+    case FaultPoint::Commit: return "commit";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& text, const std::string& why) {
+  throw Error("fault_plan '" + text + "': " + why +
+              " (grammar: <check|edge|settle|commit>@<step>[+<k>])");
+}
+
+std::uint64_t parse_number(const std::string& text, const std::string& s,
+                           const char* what) {
+  if (s.empty()) bad(text, std::string("missing ") + what);
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      bad(text, std::string("non-numeric ") + what + " '" + s + "'");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  FaultPlan plan;
+  if (text.empty()) return plan;
+
+  const auto at = text.find('@');
+  if (at == std::string::npos) bad(text, "missing '@<step>'");
+  const std::string point = text.substr(0, at);
+  if (point == "check") plan.point = FaultPoint::Check;
+  else if (point == "edge") plan.point = FaultPoint::Edge;
+  else if (point == "settle") plan.point = FaultPoint::Settle;
+  else if (point == "commit") plan.point = FaultPoint::Commit;
+  else bad(text, "unknown point '" + point + "'");
+
+  std::string rest = text.substr(at + 1);
+  const auto plus = rest.find('+');
+  if (plus != std::string::npos) {
+    plan.skip = parse_number(text, rest.substr(plus + 1), "occurrence count");
+    rest = rest.substr(0, plus);
+  }
+  plan.step = parse_number(text, rest, "step");
+  return plan;
+}
+
+}  // namespace hwpat::rtl

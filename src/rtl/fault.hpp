@@ -1,0 +1,64 @@
+// Fault injection: a seeded plan that forces a throw at a chosen point
+// inside the event loop, so tests can prove the kernel's consistency
+// guarantees (transactional clock edges, snapshot/restore recovery)
+// hold at *every* phase, not just where devices happen to throw.
+//
+// Plan grammar (Options::fault_plan):
+//
+//   <point>@<step>[+<k>]
+//
+//   point  one of  check | edge | settle | commit
+//   step   first eligible step (Simulator::cycles() value)
+//   k      occurrences of the point to let pass once eligible
+//          (default 0: fire at the first occurrence)
+//
+// Examples:
+//   "check@40"     throw from the validate phase at step 40
+//   "edge@40+1"    throw after one domain has already fired its edge
+//   "settle@12+3"  throw after three settle deltas have drained
+//   "commit@7+5"   throw with five signal commits already applied
+//
+// A plan fires exactly once per Simulator lifetime (it is a crash
+// model, not a recurring error source); Simulator::fault_fired()
+// reports whether it has.  The throw is a FaultInjected, distinct from
+// ProtocolError so harnesses can tell an injected crash from a
+// modelled device violation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace hwpat::rtl {
+
+/// Thrown by the fault-injection engine at the planned point.
+class FaultInjected : public Error {
+ public:
+  explicit FaultInjected(const std::string& what) : Error(what) {}
+};
+
+/// Where in the event loop a planned fault strikes.
+enum class FaultPoint : unsigned char {
+  None,    ///< no plan
+  Check,   ///< inside the validate phase (on_clock_check sweep)
+  Edge,    ///< mid-mutate, after `k` domains fired on_clock
+  Settle,  ///< mid-settle, after `k` delta drains
+  Commit,  ///< mid-commit, after `k` signal commits applied
+};
+
+[[nodiscard]] const char* fault_point_name(FaultPoint p);
+
+struct FaultPlan {
+  FaultPoint point = FaultPoint::None;
+  std::uint64_t step = 0;  ///< first eligible step (cycles() index)
+  std::uint64_t skip = 0;  ///< eligible occurrences to let pass first
+
+  [[nodiscard]] bool armed() const { return point != FaultPoint::None; }
+};
+
+/// Parses the "<point>@<step>[+<k>]" grammar; an empty string yields a
+/// disarmed plan.  Throws Error on malformed input.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& text);
+
+}  // namespace hwpat::rtl

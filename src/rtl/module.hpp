@@ -61,7 +61,9 @@ class Module {
   /// Combinational process (see file comment).  Default: none.
   virtual void eval_comb() {}
   /// Sequential process, one call per rising clock edge.  Default: none.
-  virtual void on_clock() {}
+  /// (The body sets the thread-local probe flag so the elaboration-time
+  /// comb-only check can detect an override — see simulator.cpp.)
+  virtual void on_clock() { base_clock_probe_ = true; }
   /// Validate phase of a clock-edge event, run for every module that
   /// opted in via enable_clock_check() — across ALL domains firing at
   /// the tick — before ANY on_clock() runs.  A strict device raises
@@ -69,8 +71,9 @@ class Module {
   /// is a perfect no-op: no register write, no internal C++ state
   /// mutation, no counter advance anywhere — the retried step() re-fires
   /// the same tick as if the throw never happened.  Must not write
-  /// signals or mutate state.  Default: nothing.
-  virtual void on_clock_check() const {}
+  /// signals or mutate state.  Default: nothing (the body only sets the
+  /// comb-only override probe — see on_clock()).
+  virtual void on_clock_check() const { base_clock_probe_ = true; }
   /// Reset registers to their initial values.  Default: none.
   virtual void on_reset() {}
   /// Sequential-state declaration hook, called once when a Simulator
@@ -96,6 +99,17 @@ class Module {
   /// Reports this module's *own* synthesis primitives (children are
   /// visited separately).  Default: nothing — a pure wrapper.
   virtual void report(PrimitiveTally&) const {}
+
+  /// Snapshot hooks (see src/rtl/README.md).  A module with internal
+  /// C++ state that outlives a clock edge — exactly the state whose
+  /// changes seq_touch() reports — serializes it here so
+  /// Simulator::save_snapshot()/restore_snapshot() capture it.  The
+  /// two must write and read the same byte sequence: the simulator
+  /// length-frames each module's payload and throws Error when
+  /// load_state() consumes a different count than save_state()
+  /// produced.  Default: stateless (empty payload).
+  virtual void save_state(StateWriter&) const {}
+  virtual void load_state(StateReader&) {}
 
   /// True when this module made no sequential-state declaration (the
   /// conservative fallback).  Meaningful while bound to a Simulator.
@@ -188,6 +202,14 @@ class Module {
   /// elaboration — the partition index fused into the dirty-marking
   /// fast path (one pointer chase instead of an index + branch).
   std::vector<Module*>* work_queue_ = nullptr;
+
+  /// Probe for the elaboration-time comb-only check: the *default*
+  /// on_clock()/on_clock_check() bodies set this flag; the simulator
+  /// clears it, calls the virtual, and concludes "overridden" when the
+  /// flag stayed clear.  thread_local for the same reason as the signal
+  /// tracer: simulators over disjoint designs may elaborate on
+  /// different threads.
+  static inline thread_local bool base_clock_probe_ = false;
 };
 
 }  // namespace hwpat::rtl

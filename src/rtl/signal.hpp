@@ -22,6 +22,7 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "rtl/snapshot.hpp"
 
 namespace hwpat::rtl {
 
@@ -125,6 +126,22 @@ class SignalBase {
   /// back to the virtual as_word() for everything else.  Defined after
   /// Signal<T> below; the VCD sampling hot loop uses it.
   [[nodiscard]] Word as_word_fast() const;
+
+  /// True while a write awaits commit (next != current).  Cold path:
+  /// save_snapshot() scans this to refuse capturing mid-write state —
+  /// needed because the full-sweep kernel commits by scanning all
+  /// signals, so an uncommitted write leaves no pending-list trace.
+  [[nodiscard]] virtual bool has_uncommitted_write() const = 0;
+
+  /// Serializes the committed (current) value.  Snapshots are taken
+  /// between steps, when next == current, so one value suffices.
+  virtual void save_value(StateWriter& w) const = 0;
+  /// Restores a serialized value onto both phases (current and next).
+  virtual void load_value(StateReader& r) = 0;
+  /// Non-virtual save/load dispatchers riding the SigKind tags, like
+  /// commit_fast()/as_word_fast().  Defined after Signal<T> below.
+  void save_value_fast(StateWriter& w) const;
+  void load_value_fast(StateReader& r);
 
  protected:
   /// Called by Signal<T>::write(): schedules this signal for commit on
@@ -266,6 +283,48 @@ class Signal : public SignalBase {
   // final for the same reason as commit() above.
   [[nodiscard]] Word as_word() const final { return as_word_inline(); }
 
+  /// Non-virtual bodies of save_value()/load_value(), callable directly
+  /// when the concrete type is known statically (the *_fast dispatch).
+  /// Word and bool signals get a fixed-width little-endian encoding;
+  /// other trivially-copyable payloads fall back to raw process-local
+  /// bytes; anything else (a Signal<std::string> testbench wire, say)
+  /// is rejected with the signal's path.
+  void save_value_inline(StateWriter& w) const {
+    if constexpr (std::is_same_v<T, Word>) {
+      w.word(cur_);
+    } else if constexpr (std::is_same_v<T, bool>) {
+      w.boolean(cur_);
+    } else if constexpr (std::is_trivially_copyable_v<T>) {
+      w.pod(cur_);
+    } else {
+      throw Error("signal '" + full_name() +
+                  "': value type is not trivially copyable — snapshot "
+                  "cannot serialize it (keep non-POD testbench state in "
+                  "a module with save_state/load_state instead)");
+    }
+  }
+  void load_value_inline(StateReader& r) {
+    if constexpr (std::is_same_v<T, Word>) {
+      cur_ = nxt_ = r.word();
+    } else if constexpr (std::is_same_v<T, bool>) {
+      cur_ = nxt_ = r.boolean();
+    } else if constexpr (std::is_trivially_copyable_v<T>) {
+      cur_ = nxt_ = r.pod<T>();
+    } else {
+      throw Error("signal '" + full_name() +
+                  "': value type is not trivially copyable — snapshot "
+                  "cannot restore it");
+    }
+  }
+
+  [[nodiscard]] bool has_uncommitted_write() const final {
+    return !(nxt_ == cur_);
+  }
+
+  // final for the same reason as commit() above.
+  void save_value(StateWriter& w) const final { save_value_inline(w); }
+  void load_value(StateReader& r) final { load_value_inline(r); }
+
  private:
   T cur_;
   T nxt_;
@@ -317,6 +376,36 @@ inline Word SignalBase::as_word_fast() const {
       break;
   }
   return as_word();
+}
+
+inline void SignalBase::save_value_fast(StateWriter& w) const {
+  // Soundness of the static_casts: same argument as commit_fast().
+  switch (kind_) {
+    case SigKind::kWord:
+      static_cast<const Signal<Word>*>(this)->save_value_inline(w);
+      return;
+    case SigKind::kBool:
+      static_cast<const Signal<bool>*>(this)->save_value_inline(w);
+      return;
+    case SigKind::kOther:
+      break;
+  }
+  save_value(w);
+}
+
+inline void SignalBase::load_value_fast(StateReader& r) {
+  // Soundness of the static_casts: same argument as commit_fast().
+  switch (kind_) {
+    case SigKind::kWord:
+      static_cast<Signal<Word>*>(this)->load_value_inline(r);
+      return;
+    case SigKind::kBool:
+      static_cast<Signal<bool>*>(this)->load_value_inline(r);
+      return;
+    case SigKind::kOther:
+      break;
+  }
+  load_value(r);
 }
 
 }  // namespace hwpat::rtl

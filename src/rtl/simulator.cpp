@@ -185,12 +185,28 @@ Simulator::Simulator(Module& top, Options opt) : top_(top), opt_(opt) {
   if (opt_.threads < 0)
     throw Error("Simulator options: threads must be >= 0, got " +
                 std::to_string(opt_.threads));
+  fault_ = parse_fault_plan(opt_.fault_plan);
   top_.visit([this](Module& m) {
     modules_.push_back(&m);
     for (SignalBase* s : m.signals()) signals_.push_back(s);
   });
-  bind();
+  try {
+    bind();
+  } catch (...) {
+    // An elaboration failure (comb-only contract violation) must not
+    // leave the design half-bound: a corrected rebuild of the tree
+    // could otherwise never bind again.
+    unbind();
+    throw;
+  }
   stats_.domain_edges.assign(scheds_.size(), 0);
+  {
+    // Construction-time module states, so reset() after a restored
+    // snapshot returns to construction values (not snapshot values).
+    StateWriter w;
+    save_module_states(w);
+    baseline_ = std::move(w).take();
+  }
   // The parallel settle engine needs several partitions and the event
   // kernel; threads are clamped to the domain count (a worker per dirty
   // partition per delta is the maximum useful parallelism).  threads=1
@@ -221,6 +237,7 @@ void Simulator::bind() {
     m->seq_queue_ = opt_.full_sweep ? nullptr : &touched_;
     m->declare_state();
   }
+  if (opt_.check_seq_contract) check_comb_only_contract();
   build_domains();
   for (std::size_t i = 0; i < signals_.size(); ++i) {
     SignalBase* s = signals_[i];
@@ -361,6 +378,66 @@ void Simulator::unbind() {
   }
 }
 
+void Simulator::check_comb_only_contract() {
+  for (Module* m : modules_) {
+    if (!m->comb_only()) continue;
+    if (!m->seq_signals_.empty())
+      throw Error("module '" + m->full_name() +
+                  "': declare_comb_only() but register_seq() declared " +
+                  std::to_string(m->seq_signals_.size()) +
+                  " register signal(s) — a comb-only module has no "
+                  "sequential process to write them");
+    if (m->has_clock_check())
+      throw Error("module '" + m->full_name() +
+                  "': declare_comb_only() but enable_clock_check() was "
+                  "requested — the validate phase belongs to clocked "
+                  "modules; drop one of the two declarations");
+    // Probe for an overridden on_clock()/on_clock_check(): the default
+    // bodies set base_clock_probe_, so after a call that leaves the
+    // flag clear (or throws) the virtual must be overridden — and the
+    // simulator would silently never run it.
+    Module::base_clock_probe_ = false;
+    bool threw = false;
+    try {
+      m->on_clock();
+    } catch (...) {
+      threw = true;
+    }
+    if (threw || !Module::base_clock_probe_)
+      throw Error("module '" + m->full_name() +
+                  "': declare_comb_only() but on_clock() is overridden "
+                  "— the declaration would silently disable the "
+                  "sequential process; drop the declaration or the "
+                  "override");
+    Module::base_clock_probe_ = false;
+    threw = false;
+    try {
+      static_cast<const Module*>(m)->on_clock_check();
+    } catch (...) {
+      threw = true;
+    }
+    if (threw || !Module::base_clock_probe_)
+      throw Error("module '" + m->full_name() +
+                  "': declare_comb_only() but on_clock_check() is "
+                  "overridden — the declaration would silently disable "
+                  "the validate phase; drop the declaration or the "
+                  "override");
+  }
+  Module::base_clock_probe_ = false;
+}
+
+void Simulator::inject_slow(FaultPoint p) {
+  // Reached only when p matches an armed, unfired plan.
+  if (cycle_ < fault_.step) return;
+  if (fault_seen_++ < fault_.skip) return;
+  fault_fired_ = true;
+  throw FaultInjected("injected fault '" + opt_.fault_plan +
+                      "' fired at point '" + fault_point_name(p) +
+                      "', cycle " + std::to_string(cycle_) + ", tick " +
+                      std::to_string(tick_) + " in design '" +
+                      top_.name() + "'");
+}
+
 Simulator::DomainInfo Simulator::domain_info(std::size_t i) const {
   HWPAT_ASSERT(i < scheds_.size());
   const DomainSched& ds = scheds_[i];
@@ -415,6 +492,7 @@ void Simulator::throw_run_until_timeout(std::uint64_t max_cycles) const {
 void Simulator::commit_all(bool* changed) {
   bool any = false;
   for (SignalBase* s : signals_) {
+    maybe_inject(FaultPoint::Commit);
     ++stats_.commits;
     if (s->commit_fast()) {
       ++stats_.commit_changes;
@@ -427,6 +505,7 @@ void Simulator::commit_all(bool* changed) {
 
 void Simulator::settle_full_sweep() {
   for (int iter = 0; iter < opt_.delta_limit; ++iter) {
+    maybe_inject(FaultPoint::Settle);
     ++stats_.deltas;
     for (Module* m : modules_) {
       ++stats_.evals;
@@ -465,6 +544,7 @@ void Simulator::eval_traced(Module* m) {
 
 void Simulator::drain_pending(Partition& part) {
   for (SignalBase* s : part.pending) {
+    maybe_inject(FaultPoint::Commit);
     s->pending_ = false;
     ++stats_.commits;
     if (!s->commit_fast()) continue;
@@ -506,6 +586,7 @@ void Simulator::settle_event() {
     ++stats_.partition_settles;
     for (int iter = 0; !p.worklist.empty(); ++iter) {
       if (iter >= opt_.delta_limit) throw_comb_loop();
+      maybe_inject(FaultPoint::Settle);
       ++stats_.deltas;
       eval_list_.swap(p.worklist);
       for (Module* m : eval_list_) {
@@ -531,6 +612,7 @@ void Simulator::settle_event() {
   std::uint64_t touched = 0;
   for (int iter = 0; !dirty_parts_.empty(); ++iter) {
     if (iter >= opt_.delta_limit) throw_comb_loop();
+    maybe_inject(FaultPoint::Settle);
     ++stats_.deltas;
     active_parts_.swap(dirty_parts_);
     // Bookkeeping stays on the coordinating thread either way: only the
@@ -637,11 +719,13 @@ void Simulator::fire_edges(bool check_contract) {
   // zero state touched — the transactional guarantee the retried-step
   // contract rests on.
   for (const std::size_t di : firing_) {
+    maybe_inject(FaultPoint::Check);
     const DomainSched& ds = scheds_[di];
     for (const Module* m : ds.checkers) m->on_clock_check();
   }
   // Mutate phase.
   for (const std::size_t di : firing_) {
+    maybe_inject(FaultPoint::Edge);
     DomainSched& ds = scheds_[di];
     if (!check_contract) {
       for (Module* m : ds.active) m->on_clock();
@@ -705,6 +789,10 @@ void Simulator::clock_edge_event() {
     abort_edge_event();
     throw;
   }
+  // The edge fired: from here to the end of the post-edge marking the
+  // event is half-applied, so a throw (an injected commit fault) leaves
+  // state inconsistent — flag it for save_snapshot()'s guard.
+  needs_recovery_ = true;
   // Commits of changed register signals dirty their fanout modules.
   commit_pending();
   // Modules that reported internal-state changes re-evaluate once...
@@ -719,6 +807,7 @@ void Simulator::clock_edge_event() {
   for (const std::size_t di : firing_)
     for (Module* m : scheds_[di].opaque) mark_module_dirty(m);
   stats_.seq_skips += modules_.size() - dirty_module_count();
+  needs_recovery_ = false;
 }
 
 // ---------------------------------------------------------------------
@@ -726,15 +815,23 @@ void Simulator::clock_edge_event() {
 // ---------------------------------------------------------------------
 
 void Simulator::settle() {
+  BusyGuard busy(busy_);
   ++stats_.settles;
+  // A throw out of a settle (CombLoopError, an eval_comb() throw, an
+  // injected fault) leaves partially evaluated/committed state behind:
+  // mark it so save_snapshot() refuses until restore/reset recovers.
+  needs_recovery_ = true;
   if (opt_.full_sweep) {
     settle_full_sweep();
   } else {
     settle_event();
   }
+  needs_recovery_ = false;
 }
 
 void Simulator::reset() {
+  BusyGuard busy(busy_);
+  needs_recovery_ = true;  // cleared below once the reset completed
   cycle_ = 0;
   tick_ = 0;
   for (DomainSched& ds : scheds_) ds.next_edge = ds.phase + ds.period;
@@ -758,6 +855,17 @@ void Simulator::reset() {
     s->pending_ = false;
     s->reset_value();
   }
+  {
+    // Reset means *construction-time* state, unconditionally: reload
+    // every module's elaboration-time payload before on_reset() applies
+    // its usual resets on top — exactly the sequence a freshly
+    // constructed simulator goes through.  This is what makes reset()
+    // a valid recovery from both a restored snapshot and a mid-event
+    // crash, even for modules whose on_reset() deliberately preserves
+    // some state.
+    StateReader r(baseline_);
+    load_module_states(r);
+  }
   for (Module* m : modules_) {
     m->comb_dirty_ = false;
     m->seq_touched_ = false;
@@ -770,6 +878,7 @@ void Simulator::reset() {
     mark_all_modules_dirty();
   }
   settle();
+  needs_recovery_ = false;
   if (vcd_) {
     vcd_full_pending_ = true;
     sample_vcd();
@@ -787,10 +896,15 @@ void Simulator::fire_edges_full_sweep() {
     for (SignalBase* s : signals_) s->discard_write();
     throw;
   }
+  // Same half-applied window as clock_edge_event(): the edge mutated
+  // module state, the commit below completes it.
+  needs_recovery_ = true;
   commit_all(nullptr);
+  needs_recovery_ = false;
 }
 
 void Simulator::step(int n) {
+  BusyGuard busy(busy_);
   if (single_part_) {
     // Single-domain specialization: the heap is a 1-element formality
     // (its order is trivially maintained by bumping next_edge in

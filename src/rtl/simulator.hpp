@@ -74,6 +74,7 @@
 #include <vector>
 
 #include "rtl/clock.hpp"
+#include "rtl/fault.hpp"
 #include "rtl/module.hpp"
 
 namespace hwpat::rtl {
@@ -117,6 +118,11 @@ class Simulator {
     /// elaboration when zero/negative.  Default: 1 ns per tick, which
     /// reproduces the historical single-clock header exactly.
     std::int64_t tick_ps = 1000;
+    /// Fault-injection plan, "<point>@<step>[+<k>]" (see rtl/fault.hpp;
+    /// empty = disabled): forces one FaultInjected throw at the chosen
+    /// point of the event loop, for crash-consistency testing.  Parsed
+    /// at construction; malformed plans throw Error there.
+    std::string fault_plan;
   };
 
   /// Work counters, cumulative since construction or reset_stats().
@@ -254,6 +260,32 @@ class Simulator {
   /// (timestamps in ticks, $timescale from Options::tick_ps).
   void open_vcd(const std::string& path);
 
+  /// Serializes complete simulator state — every signal's committed
+  /// value, every module's save_state() payload, the scheduler (tick,
+  /// per-domain next edges, stats) and the learned fanout lists — into
+  /// a versioned blob guarded by topology_hash().  Must be called
+  /// between steps (throws Error mid-event or after an exception
+  /// unwound a settle/commit; restore or reset first).
+  [[nodiscard]] Snapshot save_snapshot() const;
+
+  /// Restores a snapshot taken from *this elaborated design* (same
+  /// parameters — enforced via topology_hash(); mismatches throw
+  /// Error).  Replay from the restored state is deterministic: stats,
+  /// values and VCD bytes evolve exactly as they did after the capture
+  /// point.  A corrupted blob throws Error; if corruption is detected
+  /// after restoration began, the simulator is reset to construction
+  /// state (and the message says so) — it is never left half-restored.
+  void restore_snapshot(const Snapshot& snap);
+
+  /// FNV-1a hash over the elaborated topology (module paths, signal
+  /// ids/kinds/widths, partitions, domains) — the compatibility guard
+  /// between a snapshot and the design it is restored into.
+  [[nodiscard]] std::uint64_t topology_hash() const;
+
+  /// True once the Options::fault_plan has fired (plans fire at most
+  /// once per simulator lifetime).
+  [[nodiscard]] bool fault_fired() const { return fault_fired_; }
+
  private:
   /// Per-domain scheduler state: the activation list (modules whose
   /// on_clock() runs on this domain's edges) and the next edge tick.
@@ -390,6 +422,47 @@ class Simulator {
   [[noreturn]] void throw_comb_loop() const;
   [[noreturn]] void throw_run_until_timeout(std::uint64_t max_cycles) const;
 
+  /// Elaboration-time comb-only hardening (Options::check_seq_contract):
+  /// throws Error when a declare_comb_only() module overrides
+  /// on_clock()/on_clock_check() or registered sequential signals.
+  void check_comb_only_contract();
+
+  /// Length-framed serialization of every module's save_state payload
+  /// (shared by save_snapshot and the construction-time baseline).
+  void save_module_states(StateWriter& w) const;
+  /// Mirror of save_module_states: throws Error (with the module path)
+  /// when a module's load_state consumes a different byte count than
+  /// its save_state produced.
+  void load_module_states(StateReader& r);
+
+  /// Fault-injection hook.  The fast path is one enum compare (plans
+  /// are rare); the slow path applies the step window and occurrence
+  /// count, then throws FaultInjected.
+  void maybe_inject(FaultPoint p) {
+    if (p != fault_.point || fault_fired_) return;
+    inject_slow(p);
+  }
+  void inject_slow(FaultPoint p);
+
+  /// Marks the simulator busy for the duration of a kernel entry point
+  /// (step/settle/reset) — snapshot calls from inside module callbacks
+  /// are rejected while set.  Cleared on exception unwind, so a fault
+  /// that escapes to the caller leaves the simulator restorable.
+  struct BusyGuard {
+    explicit BusyGuard(bool& flag) : flag_(flag), owned_(!flag) {
+      flag = true;
+    }
+    ~BusyGuard() {
+      if (owned_) flag_ = false;
+    }
+    BusyGuard(const BusyGuard&) = delete;
+    BusyGuard& operator=(const BusyGuard&) = delete;
+
+   private:
+    bool& flag_;
+    bool owned_;
+  };
+
   Module& top_;
   Options opt_;
   std::vector<Module*> modules_;
@@ -443,6 +516,19 @@ class Simulator {
   std::uint64_t eval_stamp_ = 0;          ///< unique id per traced eval
   std::vector<SignalBase*> vcd_changed_;  ///< changed since last sample
   bool vcd_full_pending_ = false;         ///< next sample must scan all
+
+  // Snapshot / crash-consistency state.
+  bool busy_ = false;            ///< inside step()/settle()/reset()
+  bool needs_recovery_ = false;  ///< an exception unwound a settle/commit
+  /// Every module's save_state payload captured at construction, so
+  /// reset() — after a restore, a crash, or an ordinary run — returns
+  /// to construction-time state, not whatever the modules drifted to.
+  std::vector<std::uint8_t> baseline_;
+
+  // Fault-injection state (Options::fault_plan).
+  FaultPlan fault_;
+  bool fault_fired_ = false;
+  std::uint64_t fault_seen_ = 0;  ///< eligible occurrences observed
 };
 
 }  // namespace hwpat::rtl

@@ -147,4 +147,61 @@ void VgaSink::report(rtl::PrimitiveTally& t) const {
   t.depth(2);
 }
 
+
+namespace {
+
+void save_frame(rtl::StateWriter& w, const Frame& f) {
+  w.i32(f.width());
+  w.i32(f.height());
+  w.i32(f.channels());
+  w.words(f.pixels());
+}
+
+Frame load_frame(rtl::StateReader& r) {
+  const int width = r.i32();
+  const int height = r.i32();
+  const int channels = r.i32();
+  Frame f(width, height, channels);
+  r.words(f.pixels());
+  return f;
+}
+
+}  // namespace
+
+void VideoSource::save_state(rtl::StateWriter& w) const {
+  w.u64(frame_idx_);
+  w.u64(pix_idx_);
+  w.i32(wait_);
+  w.u64(sent_);
+}
+
+void VideoSource::load_state(rtl::StateReader& r) {
+  frame_idx_ = static_cast<std::size_t>(r.u64());
+  pix_idx_ = static_cast<std::size_t>(r.u64());
+  wait_ = r.i32();
+  sent_ = static_cast<std::size_t>(r.u64());
+}
+
+void VgaSink::save_state(rtl::StateWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(frames_.size()));
+  for (const Frame& f : frames_) save_frame(w, f);
+  save_frame(w, current_);
+  w.u64(pix_idx_);
+  w.i32(wait_);
+  w.boolean(streaming_);
+  w.u64(received_);
+}
+
+void VgaSink::load_state(rtl::StateReader& r) {
+  const std::uint32_t n = r.u32();
+  frames_.clear();
+  frames_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) frames_.push_back(load_frame(r));
+  current_ = load_frame(r);
+  pix_idx_ = static_cast<std::size_t>(r.u64());
+  wait_ = r.i32();
+  streaming_ = r.boolean();
+  received_ = static_cast<std::size_t>(r.u64());
+}
+
 }  // namespace hwpat::video

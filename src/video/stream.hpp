@@ -47,6 +47,8 @@ class VideoSource : public Module {
   void on_clock() override;
   void on_reset() override;
   void declare_state() override;
+  void save_state(rtl::StateWriter& w) const override;
+  void load_state(rtl::StateReader& r) override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] bool done() const {
@@ -84,6 +86,8 @@ class VgaSink : public Module {
   void on_clock() override;
   void on_reset() override;
   void declare_state() override;
+  void save_state(rtl::StateWriter& w) const override;
+  void load_state(rtl::StateReader& r) override;
   void report(rtl::PrimitiveTally& t) const override;
 
   [[nodiscard]] const std::vector<Frame>& frames() const { return frames_; }
