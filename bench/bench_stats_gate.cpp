@@ -165,7 +165,9 @@ const Scenario kScenarios[] = {
 
 Counters run_scenario(const Scenario& s) {
   auto d = s.make();
-  rtl::Simulator sim(*d, {.threads = g_threads});
+  rtl::Simulator::Options opt;
+  opt.threads = g_threads;
+  rtl::Simulator sim(*d, opt);
   sim.reset();
   if (g_snapshot) {
     sim.run_until(

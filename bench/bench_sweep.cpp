@@ -1,0 +1,165 @@
+// Batch sweep smoke benchmark: elaborates a 12-variant design grid
+// (8 single-clock saa2vga variants × widths/depths/devices, 4
+// tri-clock variants × ratios/lanes), runs it through rtl::SweepDriver
+// on a worker pool, and records per-variant steps/sec plus total wall
+// time as BENCH_sweep.json.  A second section forks the flagship
+// variant from one warmed snapshot into K scenario branches and
+// reports the blob size and per-branch throughput — the
+// warm-once/fork-K cost model the sweep service exists for.
+//
+// Standalone main (no google-benchmark dependency):
+//
+//   bench_sweep [--workers N] [--out FILE.json] [--frames N]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "designs/variants.hpp"
+#include "rtl/rtl.hpp"
+
+namespace {
+
+using hwpat::designs::Saa2VgaSweepGrid;
+using hwpat::designs::TriClkSweepGrid;
+using hwpat::rtl::SweepDriver;
+using hwpat::rtl::SweepJob;
+using hwpat::rtl::SweepOptions;
+using hwpat::rtl::SweepResult;
+
+std::vector<SweepJob> bench_grid(int frames) {
+  Saa2VgaSweepGrid g1;
+  g1.widths = {16, 32};
+  g1.depths = {256, 512};
+  g1.frames = frames;
+  std::vector<SweepJob> jobs = hwpat::designs::saa2vga_sweep(g1);
+  TriClkSweepGrid g2;
+  g2.ratios = {"5x2x3", "3x1x2"};
+  g2.lanes = {1, 2};
+  g2.width = 16;
+  g2.height = 12;
+  g2.frames = frames;
+  for (SweepJob& j : hwpat::designs::saa2vga_triclk_sweep(g2))
+    jobs.push_back(std::move(j));
+  return jobs;
+}
+
+void print_results(const char* title,
+                   const std::vector<SweepResult>& results) {
+  std::printf("%s\n", title);
+  std::printf("  %-28s %10s %12s %12s %10s\n", "variant", "steps",
+              "steps/sec", "wall_ms", "snap_B");
+  for (const SweepResult& r : results) {
+    if (!r.ok) {
+      std::printf("  %-28s FAILED: %s\n", r.name.c_str(), r.error.c_str());
+      continue;
+    }
+    std::printf("  %-28s %10llu %12.0f %12.3f %10zu\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.steps), r.steps_per_sec,
+                r.wall_seconds * 1e3, r.snapshot_bytes);
+  }
+}
+
+void json_results(std::ofstream& out, const std::vector<SweepResult>& rs) {
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const SweepResult& r = rs[i];
+    out << "    {\"name\": \"" << r.name << "\", \"ok\": "
+        << (r.ok ? "true" : "false") << ", \"outcome\": \""
+        << to_string(r.outcome) << "\", \"steps\": " << r.steps
+        << ", \"steps_per_sec\": " << r.steps_per_sec
+        << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"evals\": " << r.stats.evals
+        << ", \"commits\": " << r.stats.commits
+        << ", \"snapshot_bytes\": " << r.snapshot_bytes << "}"
+        << (i + 1 < rs.size() ? "," : "") << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int workers = 2;
+  int frames = 2;
+  std::string out_path = "BENCH_sweep.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
+      workers = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
+      frames = std::atoi(argv[++i]);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--workers N] [--out FILE] [--frames N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    const std::vector<SweepJob> jobs = bench_grid(frames);
+    const SweepDriver driver(SweepOptions{workers, 10'000'000, ""});
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<SweepResult> grid = driver.run(jobs);
+    const double grid_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // Fork section: warm the flagship variant partway, then fork 4
+    // branches from the same blob — each replays the remainder of the
+    // run, so the warmup cost is paid once instead of 4 times.
+    SweepJob base = jobs.front();
+    base.warmup = 200;
+    std::vector<hwpat::rtl::SweepBranch> branches;
+    for (int b = 0; b < 4; ++b)
+      branches.push_back(
+          {"branch" + std::to_string(b), {}, {}, 0, ""});
+    hwpat::rtl::Snapshot blob;
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::vector<SweepResult> forked =
+        driver.run_forked(base, branches, &blob);
+    const double fork_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+            .count();
+
+    print_results("sweep grid", grid);
+    print_results("snapshot fork (flagship base)", forked);
+    std::printf(
+        "workers=%d variants=%zu grid_wall=%.3fs fork_wall=%.3fs "
+        "snapshot=%zu bytes\n",
+        workers, grid.size(), grid_wall, fork_wall, blob.size_bytes());
+
+    int failed = 0;
+    for (const SweepResult& r : grid) failed += r.ok ? 0 : 1;
+    for (const SweepResult& r : forked) failed += r.ok ? 0 : 1;
+
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"sweep\",\n  \"workers\": " << workers
+        << ",\n  \"variants\": " << grid.size()
+        << ",\n  \"grid_wall_seconds\": " << grid_wall
+        << ",\n  \"fork_wall_seconds\": " << fork_wall
+        << ",\n  \"snapshot_bytes\": " << blob.size_bytes()
+        << ",\n  \"grid\": [\n";
+    json_results(out, grid);
+    out << "  ],\n  \"forked\": [\n";
+    json_results(out, forked);
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (failed != 0) {
+      std::fprintf(stderr, "%d variant(s) failed\n", failed);
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_sweep: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

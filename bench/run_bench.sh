@@ -24,7 +24,8 @@ build_dir=${1:-"$repo_root/build"}
 json_benches="bench_sim_kernel bench_multiclock"
 other_benches="bench_stats_gate bench_ablation bench_designspace \
 bench_fig3_pipeline bench_fig4_fig5_codegen bench_overhead_cycles \
-bench_table1_matrix bench_table3_resources bench_width_adaptation"
+bench_sweep bench_table1_matrix bench_table3_resources \
+bench_width_adaptation"
 
 missing=""
 for bench in $json_benches $other_benches; do

@@ -42,6 +42,18 @@ class ProtocolError : public Error {
   explicit ProtocolError(const std::string& what) : Error(what) {}
 };
 
+/// A snapshot blob could not be produced or restored: the simulator was
+/// in a non-snapshottable state (mid-event, needs-recovery, uncommitted
+/// writes), or the blob is truncated/corrupted/from a different
+/// elaboration.  Distinct from ProtocolError (a modelled hardware
+/// violation) so embedders — the C API error-code mapping in
+/// src/c_api/hwpat_c.h in particular — can route "retry with a good
+/// blob" separately from "the design is broken".
+class SnapshotError : public Error {
+ public:
+  explicit SnapshotError(const std::string& what) : Error(what) {}
+};
+
 /// Internal invariant violation inside the library itself.
 class InternalError : public Error {
  public:

@@ -1,0 +1,70 @@
+#include "meta/sweep_grid.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace hwpat::meta {
+
+namespace {
+
+void validate_axes(const std::vector<SweepAxis>& axes) {
+  if (axes.empty()) throw SpecError("sweep grid: no axes");
+  std::unordered_set<std::string> names;
+  for (const SweepAxis& ax : axes) {
+    if (ax.name.empty())
+      throw SpecError("sweep grid: axis without a name");
+    if (!names.insert(ax.name).second)
+      throw SpecError("sweep grid: duplicate axis '" + ax.name + "'");
+    if (ax.values.empty())
+      throw SpecError("sweep grid: axis '" + ax.name + "' has no values");
+    std::unordered_set<std::string> vals;
+    for (const std::string& v : ax.values)
+      if (!vals.insert(v).second)
+        throw SpecError("sweep grid: axis '" + ax.name +
+                        "' repeats value '" + v + "'");
+  }
+}
+
+}  // namespace
+
+const std::string& SweepPoint::at(const std::vector<SweepAxis>& axes,
+                                  const std::string& axis) const {
+  for (std::size_t i = 0; i < axes.size() && i < coords.size(); ++i)
+    if (axes[i].name == axis) return coords[i];
+  throw SpecError("sweep grid: point has no axis '" + axis + "'");
+}
+
+std::size_t grid_size(const std::vector<SweepAxis>& axes) {
+  std::size_t n = axes.empty() ? 0 : 1;
+  for (const SweepAxis& ax : axes) n *= ax.values.size();
+  return n;
+}
+
+std::vector<SweepPoint> enumerate_grid(const std::vector<SweepAxis>& axes) {
+  validate_axes(axes);
+  std::vector<SweepPoint> points;
+  points.reserve(grid_size(axes));
+  std::vector<std::size_t> idx(axes.size(), 0);
+  for (;;) {
+    SweepPoint p;
+    p.coords.reserve(axes.size());
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const std::string& v = axes[a].values[idx[a]];
+      p.coords.push_back(v);
+      if (a != 0) p.label += '_';
+      p.label += v;
+    }
+    points.push_back(std::move(p));
+    // Row-major odometer, last axis fastest (see header contract).
+    std::size_t a = axes.size();
+    while (a > 0) {
+      --a;
+      if (++idx[a] < axes[a].values.size()) break;
+      idx[a] = 0;
+      if (a == 0) return points;
+    }
+  }
+}
+
+}  // namespace hwpat::meta

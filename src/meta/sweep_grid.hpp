@@ -1,0 +1,54 @@
+// Cartesian design-space grids for batch sweeps.
+//
+// A sweep grid is a list of named axes ("width" × "depth" × "device"…);
+// enumerate_grid() expands it into the full cartesian product of
+// points, each carrying its coordinates and a deterministic label
+// ("w32_d512_fifo"-style) that downstream code uses as the variant
+// name.  This is the same metamodel discipline as ContainerSpec: the
+// grid is validated eagerly (SpecError naming the offending axis), so a
+// malformed sweep fails before any simulator is elaborated.
+//
+// Axis values are strings; designs::variants.hpp interprets them per
+// axis (integers, device kinds, ratios).  Expansion order is
+// row-major with the LAST axis varying fastest, and is part of the
+// contract: result indices of a sweep are stable across runs and
+// worker counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hwpat::meta {
+
+/// One dimension of a sweep grid.
+struct SweepAxis {
+  std::string name;                 ///< unique, non-empty
+  std::vector<std::string> values;  ///< non-empty; order is kept
+};
+
+/// One point of the expanded grid: a full coordinate assignment.
+struct SweepPoint {
+  /// Coordinate values, indexed like the axes passed to
+  /// enumerate_grid().
+  std::vector<std::string> coords;
+  /// "<v0>_<v1>_..." over the coordinates — a stable per-point label.
+  std::string label;
+
+  /// Value of the named axis; throws SpecError for unknown names.
+  [[nodiscard]] const std::string& at(const std::vector<SweepAxis>& axes,
+                                      const std::string& axis) const;
+};
+
+/// Expands the cartesian product of `axes` (row-major, last axis
+/// fastest).  Throws SpecError on an empty grid, an unnamed axis, a
+/// duplicate axis name, an axis without values, or a duplicate value
+/// within one axis — each message names the axis.
+[[nodiscard]] std::vector<SweepPoint> enumerate_grid(
+    const std::vector<SweepAxis>& axes);
+
+/// Product of the axes' value counts (the size enumerate_grid() will
+/// return), without expanding.
+[[nodiscard]] std::size_t grid_size(const std::vector<SweepAxis>& axes);
+
+}  // namespace hwpat::meta

@@ -177,14 +177,34 @@ void Simulator::drain_partition_parallel(std::size_t pi, ParallelCtx& c) {
   SignalBase::write_sink_ = nullptr;
 }
 
+const char* to_string(RunResult r) {
+  switch (r) {
+    case RunResult::PredSatisfied: return "pred_satisfied";
+    case RunResult::Timeout: return "timeout";
+    case RunResult::FaultLatched: return "fault_latched";
+  }
+  return "?";
+}
+
+void Simulator::validate_options(const Options& opt) {
+  if (opt.delta_limit <= 0)
+    throw Error("Simulator Options::delta_limit must be positive, got " +
+                std::to_string(opt.delta_limit));
+  if (opt.tick_ps <= 0)
+    throw Error("Simulator Options::tick_ps must be positive, got " +
+                std::to_string(opt.tick_ps));
+  if (opt.threads < 0)
+    throw Error("Simulator Options::threads must be >= 0, got " +
+                std::to_string(opt.threads));
+  try {
+    (void)parse_fault_plan(opt.fault_plan);
+  } catch (const Error& e) {
+    throw Error(std::string("Simulator Options::fault_plan: ") + e.what());
+  }
+}
+
 Simulator::Simulator(Module& top, Options opt) : top_(top), opt_(opt) {
-  HWPAT_ASSERT(opt_.delta_limit > 0);
-  if (opt_.tick_ps <= 0)
-    throw Error("Simulator options: tick_ps must be positive, got " +
-                std::to_string(opt_.tick_ps));
-  if (opt_.threads < 0)
-    throw Error("Simulator options: threads must be >= 0, got " +
-                std::to_string(opt_.threads));
+  validate_options(opt_);
   fault_ = parse_fault_plan(opt_.fault_plan);
   top_.visit([this](Module& m) {
     modules_.push_back(&m);
@@ -462,6 +482,29 @@ void Simulator::throw_comb_loop() const {
       "combinational logic did not settle within " +
       std::to_string(opt_.delta_limit) + " delta cycles in design '" +
       top_.name() + "' — likely a combinational feedback loop");
+}
+
+bool Simulator::step_checked() {
+  try {
+    step();
+    return true;
+  } catch (const FaultInjected&) {
+    if (needs_recovery_) return false;  // half-applied: caller recovers
+    // The event aborted transactionally (check/edge point): nothing
+    // advanced, and the plan has fired — re-stepping fires the same
+    // tick cleanly.
+    step();
+    return true;
+  }
+}
+
+void Simulator::require_domain_index(std::size_t domain_idx,
+                                     const char* who) const {
+  if (domain_idx >= scheds_.size())
+    throw Error(std::string(who) + ": domain index " +
+                std::to_string(domain_idx) + " out of range (design '" +
+                top_.name() + "' has " + std::to_string(scheds_.size()) +
+                " domains)");
 }
 
 void Simulator::throw_run_until_timeout(std::uint64_t max_cycles) const {

@@ -81,6 +81,34 @@ namespace hwpat::rtl {
 
 class VcdWriter;
 
+/// How a Simulator::run() call ended — the outcome the old throwing
+/// run_until() folded into exceptions and internal flags, surfaced as a
+/// value so embedders (the sweep driver, the C API) can branch on it
+/// without a try/catch per variant.
+enum class RunResult : unsigned char {
+  PredSatisfied,  ///< the predicate returned true
+  Timeout,        ///< max_cycles events consumed, predicate never held
+  /// An injected fault (Options::fault_plan) unwound a settle or a
+  /// commit mid-step and latched needs_recovery(): the state is
+  /// half-applied, so restore_snapshot() or reset() before stepping
+  /// on.  Faults that abort a clock-edge event *transactionally*
+  /// (check/edge points: zero residue, retry is safe) are retried by
+  /// run() internally and never surface as a result.
+  FaultLatched,
+};
+
+[[nodiscard]] const char* to_string(RunResult r);
+
+/// Value-carrying outcome of Simulator::run().
+struct RunStatus {
+  RunResult result = RunResult::PredSatisfied;
+  std::uint64_t steps = 0;  ///< clock-edge events consumed by the call
+  [[nodiscard]] bool ok() const {
+    return result == RunResult::PredSatisfied;
+  }
+  explicit operator bool() const { return ok(); }
+};
+
 class Simulator {
  public:
   struct Options {
@@ -88,6 +116,7 @@ class Simulator {
     /// event-driven one.
     bool full_sweep = false;
     /// Maximum delta iterations per settle before CombLoopError.
+    /// Rejected at elaboration when not positive.
     int delta_limit = 256;
     /// Verify the declared sequential-state contract on every clock
     /// edge (event kernel only): a declared module whose on_clock()
@@ -188,11 +217,53 @@ class Simulator {
   /// clock edge, as ever).
   void step(int n = 1);
 
-  /// Steps until `pred()` is true, at most `max_cycles` edge events.
-  /// Returns the number of events consumed; throws Error on timeout
-  /// with per-domain edge counts in the message.  The predicate is
+  /// Steps until `pred()` is true, at most `max_cycles` edge events,
+  /// and reports the outcome as a value (see RunResult) instead of an
+  /// exception: Timeout is a result, not a throw, and an injected
+  /// fault that latched needs_recovery() returns FaultLatched rather
+  /// than escaping.  Injected faults that aborted an event
+  /// *transactionally* are absorbed: the tick is retried (a fault plan
+  /// fires at most once, so the retry is clean) and the run continues.
+  /// Modelled design errors — ProtocolError, CombLoopError, a user
+  /// process throwing — still propagate: those are bugs in the
+  /// simulated hardware, not run outcomes.  The predicate is
   /// re-checked after the final step, so a condition that becomes true
-  /// exactly at `max_cycles` is a success, not a timeout.
+  /// exactly at `max_cycles` is PredSatisfied, not Timeout.
+  template <typename Pred>
+  [[nodiscard]] RunStatus run(Pred&& pred, std::uint64_t max_cycles) {
+    for (std::uint64_t n = 0;; ++n) {
+      if (pred()) return {RunResult::PredSatisfied, n};
+      if (n >= max_cycles) return {RunResult::Timeout, n};
+      if (!step_checked()) return {RunResult::FaultLatched, n};
+    }
+  }
+
+  /// Domain-filtered run(): like the two-argument overload, but for a
+  /// predicate that can only change on edges of domain `domain_idx`
+  /// (indexed like domain_info()) — the predicate is skipped after
+  /// events where that domain did not fire.  Outcomes and step counts
+  /// are identical to the unfiltered overload whenever the stated
+  /// dependency actually holds.  Throws Error when domain_idx is out
+  /// of range (that is API misuse, not a run outcome).
+  template <typename Pred>
+  [[nodiscard]] RunStatus run(Pred&& pred, std::uint64_t max_cycles,
+                              std::size_t domain_idx) {
+    require_domain_index(domain_idx, "run");
+    if (pred()) return {RunResult::PredSatisfied, 0};
+    for (std::uint64_t n = 0;;) {
+      if (n >= max_cycles) return {RunResult::Timeout, n};
+      if (!step_checked()) return {RunResult::FaultLatched, n};
+      ++n;
+      if (last_event_fired(domain_idx) && pred())
+        return {RunResult::PredSatisfied, n};
+    }
+  }
+
+  /// DEPRECATED shim, kept for one PR — prefer run(), which reports
+  /// Timeout/FaultLatched as values.  Steps until `pred()` is true, at
+  /// most `max_cycles` edge events.  Returns the number of events
+  /// consumed; throws Error on timeout with per-domain edge counts in
+  /// the message, and lets FaultInjected escape unretried.
   template <typename Pred>
   std::uint64_t run_until(Pred&& pred, std::uint64_t max_cycles) {
     for (std::uint64_t n = 0;; ++n) {
@@ -202,20 +273,14 @@ class Simulator {
     }
   }
 
-  /// Domain-filtered run_until: like the two-argument overload, but for
-  /// a predicate that can only change on edges of domain `domain_idx`
-  /// (indexed like domain_info()) — the predicate is skipped after
-  /// events where that domain did not fire, instead of being re-checked
-  /// after every event.  Timeout behaviour and the returned step count
-  /// are identical to the unfiltered overload whenever the stated
-  /// dependency actually holds.
+  /// DEPRECATED shim, kept for one PR — prefer the domain-filtered
+  /// run() overload.  Semantics of the two-argument run_until() with
+  /// the predicate skipped after events where `domain_idx` did not
+  /// fire.
   template <typename Pred>
   std::uint64_t run_until(Pred&& pred, std::uint64_t max_cycles,
                           std::size_t domain_idx) {
-    if (domain_idx >= scheds_.size())
-      throw Error("run_until: domain index " + std::to_string(domain_idx) +
-                  " out of range (design '" + top_.name() + "' has " +
-                  std::to_string(scheds_.size()) + " domains)");
+    require_domain_index(domain_idx, "run_until");
     if (pred()) return 0;
     for (std::uint64_t n = 0;;) {
       if (n >= max_cycles) throw_run_until_timeout(max_cycles);
@@ -286,7 +351,30 @@ class Simulator {
   /// once per simulator lifetime).
   [[nodiscard]] bool fault_fired() const { return fault_fired_; }
 
+  /// True while an exception that unwound a settle or a commit has
+  /// left partially applied state behind — the condition run() reports
+  /// as FaultLatched.  save_snapshot() refuses in this state;
+  /// restore_snapshot() or reset() clears it.
+  [[nodiscard]] bool needs_recovery() const { return needs_recovery_; }
+
  private:
+  /// Rejects every invalid Options field at elaboration with a message
+  /// naming the field, instead of silent acceptance or a deep-in-run
+  /// failure (run from the constructor, before anything is bound).
+  static void validate_options(const Options& opt);
+
+  /// One step() with the fault-injection engine absorbed: a
+  /// FaultInjected that aborted the event transactionally (zero
+  /// residue) is retried — the plan has fired, so the retry is clean —
+  /// and true is returned; one that unwound a settle/commit leaves
+  /// needs_recovery() latched and returns false.  Every other
+  /// exception propagates.  The body of run().
+  bool step_checked();
+
+  /// Throws Error when `domain_idx` is not a valid domain_info() index
+  /// (`who` names the calling API in the message).
+  void require_domain_index(std::size_t domain_idx, const char* who) const;
+
   /// Per-domain scheduler state: the activation list (modules whose
   /// on_clock() runs on this domain's edges) and the next edge tick.
   struct DomainSched {

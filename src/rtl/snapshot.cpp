@@ -99,13 +99,13 @@ void Simulator::save_module_states(StateWriter& w) const {
 void Simulator::load_module_states(StateReader& r) {
   const std::uint32_t n = r.u32();
   if (n != modules_.size())
-    throw Error("snapshot: module count mismatch (blob has " +
+    throw SnapshotError("snapshot: module count mismatch (blob has " +
                 std::to_string(n) + ", design has " +
                 std::to_string(modules_.size()) + ")");
   for (Module* m : modules_) {
     const std::uint32_t len = r.u32();
     if (len > r.remaining())
-      throw Error("snapshot: truncated module payload for '" +
+      throw SnapshotError("snapshot: truncated module payload for '" +
                   m->full_name() + "' (declared " + std::to_string(len) +
                   " byte(s), " + std::to_string(r.remaining()) +
                   " left)");
@@ -113,8 +113,8 @@ void Simulator::load_module_states(StateReader& r) {
     m->load_state(r);
     const std::size_t used = r.consumed() - before;
     if (used != len)
-      throw Error("module '" + m->full_name() +
-                  "': load_state() consumed " + std::to_string(used) +
+      throw SnapshotError("module '" + m->full_name() +
+                          "': load_state() consumed " + std::to_string(used) +
                   " byte(s) but save_state() wrote " +
                   std::to_string(len) +
                   " — the save/load pair is out of sync");
@@ -123,17 +123,17 @@ void Simulator::load_module_states(StateReader& r) {
 
 Snapshot Simulator::save_snapshot() const {
   if (busy_)
-    throw Error(
+    throw SnapshotError(
         "save_snapshot: called from inside a simulator callback "
         "(mid-event) — snapshots may only be taken between steps");
   if (needs_recovery_)
-    throw Error(
+    throw SnapshotError(
         "save_snapshot: an exception unwound a settle or commit and "
         "left state inconsistent — restore_snapshot() or reset() "
         "first, then retry");
   for (const Partition& p : parts_)
     if (!p.pending.empty() || !p.worklist.empty())
-      throw Error(
+      throw SnapshotError(
           "save_snapshot: uncommitted writes or dirty modules pending "
           "— settle() (or finish the step) before snapshotting");
   // The pending lists cover only the event kernel; the full-sweep
@@ -141,7 +141,7 @@ Snapshot Simulator::save_snapshot() const {
   // after the last settle leaves no list trace — scan for it directly.
   for (const SignalBase* s : signals_)
     if (s->has_uncommitted_write())
-      throw Error("save_snapshot: signal '" + s->full_name() +
+      throw SnapshotError("save_snapshot: signal '" + s->full_name() +
                   "' has an uncommitted write — settle() (or finish "
                   "the step) before snapshotting");
   StateWriter w;
@@ -185,7 +185,7 @@ Snapshot Simulator::save_snapshot() const {
 
 void Simulator::restore_snapshot(const Snapshot& snap) {
   if (busy_)
-    throw Error(
+    throw SnapshotError(
         "restore_snapshot: called from inside a simulator callback "
         "(mid-event) — the event must finish or abort first; the "
         "simulator is unchanged");
@@ -193,10 +193,10 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
   std::uint8_t magic[4];
   r.bytes(magic, 4);
   if (std::memcmp(magic, kMagic, 4) != 0)
-    throw Error("restore_snapshot: not a hwpat snapshot (bad magic)");
+    throw SnapshotError("restore_snapshot: not a hwpat snapshot (bad magic)");
   const std::uint8_t version = r.u8();
   if (version != kVersion)
-    throw Error("restore_snapshot: unsupported snapshot version " +
+    throw SnapshotError("restore_snapshot: unsupported snapshot version " +
                 std::to_string(version) + " (this build reads version " +
                 std::to_string(kVersion) + ")");
   const std::uint8_t flags = r.u8();
@@ -204,7 +204,7 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
   const std::uint64_t have = r.u64();
   const std::uint64_t want = topology_hash();
   if (have != want)
-    throw Error("restore_snapshot: topology hash mismatch (snapshot 0x" +
+    throw SnapshotError("restore_snapshot: topology hash mismatch (snapshot 0x" +
                 hex64(have) + ", design '" + top_.name() + "' 0x" +
                 hex64(want) +
                 ") — the snapshot was taken from a different or "
@@ -237,7 +237,7 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
     stats_.partition_skips = r.u64();
     const std::uint32_t nd = r.u32();
     if (nd != scheds_.size())
-      throw Error("snapshot: domain count mismatch (blob has " +
+      throw SnapshotError("snapshot: domain count mismatch (blob has " +
                   std::to_string(nd) + ", design has " +
                   std::to_string(scheds_.size()) + ")");
     stats_.domain_edges.resize(nd);
@@ -266,7 +266,7 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
     // Committed signal values.
     const std::uint32_t ns = r.u32();
     if (ns != signals_.size())
-      throw Error("snapshot: signal count mismatch (blob has " +
+      throw SnapshotError("snapshot: signal count mismatch (blob has " +
                   std::to_string(ns) + ", design has " +
                   std::to_string(signals_.size()) + ")");
     for (SignalBase* s : signals_) s->load_value_fast(r);
@@ -278,7 +278,7 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
       for (std::uint32_t j = 0; j < nf; ++j) {
         const std::uint32_t id = r.u32();
         if (id >= modules_.size())
-          throw Error("snapshot: fanout module id " + std::to_string(id) +
+          throw SnapshotError("snapshot: fanout module id " + std::to_string(id) +
                       " out of range for signal '" + s->full_name() +
                       "'");
         s->fanout_.push_back(modules_[id]);
@@ -291,7 +291,7 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
     // Module payloads.
     load_module_states(r);
     if (r.remaining() != 0)
-      throw Error("snapshot: " + std::to_string(r.remaining()) +
+      throw SnapshotError("snapshot: " + std::to_string(r.remaining()) +
                   " trailing byte(s) after the last module payload — "
                   "corrupted blob");
     if (!opt_.full_sweep && from_full_sweep) {
@@ -309,8 +309,8 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
     // Corruption detected after mutation began: never leave the
     // simulator half-restored — fall back to construction state.
     reset();
-    throw Error(std::string(e.what()) +
-                "; the simulator was reset to construction state");
+    throw SnapshotError(std::string(e.what()) +
+                        "; the simulator was reset to construction state");
   } catch (...) {
     reset();
     throw;

@@ -119,8 +119,9 @@ class StateWriter {
 };
 
 /// Bounds-checked little-endian decoder.  Every read validates the
-/// remaining byte count and throws Error("snapshot: truncated ...") on
-/// underrun, so corrupted blobs fail loudly instead of reading junk.
+/// remaining byte count and throws SnapshotError("snapshot: truncated
+/// ...") on underrun, so corrupted blobs fail loudly instead of
+/// reading junk.
 class StateReader {
  public:
   StateReader(const std::uint8_t* data, std::size_t size)
@@ -190,10 +191,11 @@ class StateReader {
  private:
   void need(std::uint64_t n, const char* what) const {
     if (n > size_ - pos_)
-      throw Error("snapshot: truncated blob (need " + std::to_string(n) +
-                  " more byte(s) for " + what + ", have " +
-                  std::to_string(size_ - pos_) + " of " +
-                  std::to_string(size_) + ")");
+      throw SnapshotError(
+          "snapshot: truncated blob (need " + std::to_string(n) +
+          " more byte(s) for " + what + ", have " +
+          std::to_string(size_ - pos_) + " of " + std::to_string(size_) +
+          ")");
   }
 
   const std::uint8_t* data_;

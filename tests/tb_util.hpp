@@ -143,10 +143,13 @@ class FrameFeeder : public Module {
   std::size_t idx_ = 0;
 };
 
-/// Steps until `cond()` holds, failing the test on timeout.
+/// Steps until `cond()` holds, failing the test on any other outcome
+/// (timeout, latched injected fault).
 template <typename Cond>
 void step_until(Simulator& sim, Cond&& cond, std::uint64_t max_cycles) {
-  sim.run_until(std::forward<Cond>(cond), max_cycles);
+  const rtl::RunStatus st = sim.run(std::forward<Cond>(cond), max_cycles);
+  ASSERT_TRUE(st.ok()) << "step_until: " << rtl::to_string(st.result)
+                       << " after " << st.steps << " steps";
 }
 
 /// Asserts `bit` for exactly one clock cycle.
