@@ -11,6 +11,7 @@
 //    one SRAM under round-robin vs fixed priority.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/text.hpp"
 #include "core/iterator.hpp"
 #include "core/stream_sram.hpp"
@@ -190,8 +191,9 @@ void ablate_arbitration() {
     SharedTb tb(pol, kN);
     rtl::Simulator sim(tb);
     sim.reset();
-    sim.run_until([&] { return tb.got_a >= kN && tb.got_b >= kN; },
-                  5'000'000);
+    if (!sim.run([&] { return tb.got_a >= kN && tb.got_b >= kN; },
+                 5'000'000))
+      throw Error("bench_ablation: timeout (" + sim.progress_report() + ")");
     tt.row({pol == devices::ArbPolicy::RoundRobin ? "round-robin"
                                                   : "fixed-priority",
             std::to_string(sim.cycle()),
@@ -205,9 +207,14 @@ void ablate_arbitration() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace = benchutil::take_trace_flag(argc, argv);
   ablate_dissolution();
   ablate_deadops();
   ablate_arbitration();
+  if (!trace.empty()) {
+    SharedTb tb(devices::ArbPolicy::RoundRobin, 256);
+    return benchutil::run_traced(tb, {}, 5'000, trace);
+  }
   return 0;
 }

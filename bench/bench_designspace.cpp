@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "common/text.hpp"
 #include "core/stream_core.hpp"
 #include "core/stream_sram.hpp"
@@ -97,7 +98,9 @@ Point measure(core::ContainerKind kind, devices::DeviceKind dev,
   Tb tb(kind, dev, depth, kN);
   rtl::Simulator sim(tb);
   sim.reset();
-  sim.run_until([&] { return tb.finished(); }, 2'000'000);
+  if (!sim.run([&] { return tb.finished(); }, 2'000'000))
+    throw Error("bench_designspace: timeout (" + sim.progress_report() +
+                ")");
   Point p;
   p.container = core::to_string(kind);
   p.device = devices::to_string(dev);
@@ -110,7 +113,8 @@ Point measure(core::ContainerKind kind, devices::DeviceKind dev,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace = benchutil::take_trace_flag(argc, argv);
   std::printf("§3.4 design-space characterisation: container x device x "
               "depth\n(access latency measured cycle-accurately, area "
               "from the synthesis estimator)\n\n");
@@ -163,5 +167,11 @@ int main() {
               "is much smaller, but performance will depend on memory "
               "access times\" (§4)\n",
               ok ? "PASS" : "FAIL");
+  if (!trace.empty()) {
+    Tb tb(core::ContainerKind::Queue, devices::DeviceKind::FifoCore, 64,
+          256);
+    const int rc = benchutil::run_traced(tb, {}, 2'000, trace);
+    if (rc != 0) return rc;
+  }
   return ok ? 0 : 1;
 }

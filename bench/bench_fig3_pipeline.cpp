@@ -9,6 +9,7 @@
 // claim that pattern machinery costs nothing.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/text.hpp"
 #include "designs/design.hpp"
 #include "rtl/simulator.hpp"
@@ -31,7 +32,9 @@ RunResult run(VideoDesign& d, const std::vector<video::Frame>& expect) {
   sim.reset();
   RunResult r;
   r.cycles = 0;
-  sim.run_until([&] { return d.finished(); }, 50'000'000);
+  if (!sim.run([&] { return d.finished(); }, 50'000'000))
+    throw Error("bench_fig3_pipeline: timeout (" + sim.progress_report() +
+                ")");
   r.cycles = sim.cycle();
   r.exact = d.sink().frames() == expect;
   std::size_t pixels = 0;
@@ -43,7 +46,8 @@ RunResult run(VideoDesign& d, const std::vector<video::Frame>& expect) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace = benchutil::take_trace_flag(argc, argv);
   constexpr int kW = 64, kH = 48, kFrames = 3;
   std::printf("Fig. 1/3 pipeline: decoder -> rbuffer =it=> copy =it=> "
               "wbuffer -> vga  (%dx%d, %d frames)\n\n",
@@ -99,5 +103,12 @@ int main() {
 
   const bool ok = all_exact && pat_fifo / cus_fifo < 1.1;
   std::printf("\nshape check: %s\n", ok ? "PASS" : "FAIL");
+  if (!trace.empty()) {
+    auto d = designs::make_saa2vga_pattern({.width = kW, .height = kH,
+                                            .buffer_depth = 128,
+                                            .frames = 1});
+    const int rc = benchutil::run_traced(*d, {}, 10'000, trace);
+    if (rc != 0) return rc;
+  }
   return ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "bench_util.hpp"
 #include "meta/codegen.hpp"
 
 namespace {
@@ -23,7 +24,12 @@ void emit(const hdl::DesignUnit& u, const std::string& header) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  // Pure code generation — nothing simulates; --trace still yields a
+  // loadable file.
+  if (!trace.empty() && hwpat::benchutil::write_empty_trace(trace) != 0)
+    return 1;
   meta::ContainerSpec fifo;
   fifo.name = "rbuffer";
   fifo.kind = core::ContainerKind::ReadBuffer;

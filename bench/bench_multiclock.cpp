@@ -18,6 +18,7 @@
 // bench_stats_gate --check against bench/baselines.json.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "designs/design.hpp"
 #include "rtl/simulator.hpp"
 
@@ -41,7 +42,9 @@ void BM_Saa2VgaDualClk(benchmark::State& state) {
     auto d = designs::make_saa2vga_dualclk(cfg);
     rtl::Simulator sim(*d, {.full_sweep = FullSweep});
     sim.reset();
-    sim.run_until([&] { return d->finished(); }, 50'000'000);
+    if (!sim.run([&] { return d->finished(); }, 50'000'000))
+      throw Error("bench_multiclock: timeout (" + sim.progress_report() +
+                  ")");
     cycles += sim.cycle();
     stats.steps += sim.stats().steps;
     stats.evals += sim.stats().evals;
@@ -85,7 +88,9 @@ void BM_Saa2VgaTriClk(benchmark::State& state) {
     auto d = designs::make_saa2vga_triclk(cfg);
     rtl::Simulator sim(*d, {.full_sweep = FullSweep});
     sim.reset();
-    sim.run_until([&] { return d->finished(); }, 50'000'000);
+    if (!sim.run([&] { return d->finished(); }, 50'000'000))
+      throw Error("bench_multiclock: timeout (" + sim.progress_report() +
+                  ")");
     cycles += sim.cycle();
     stats.steps += sim.stats().steps;
     stats.evals += sim.stats().evals;
@@ -147,7 +152,9 @@ void BM_Saa2VgaTriClkFarm(benchmark::State& state) {
     auto d = designs::make_saa2vga_triclk(cfg);
     rtl::Simulator sim(*d, {.threads = threads});
     sim.reset();
-    sim.run_until([&] { return d->finished(); }, 50'000'000);
+    if (!sim.run([&] { return d->finished(); }, 50'000'000))
+      throw Error("bench_multiclock: timeout (" + sim.progress_report() +
+                  ")");
     cycles += sim.cycle();
     stats.steps += sim.stats().steps;
     stats.evals += sim.stats().evals;
@@ -200,5 +207,25 @@ BENCHMARK(BM_Saa2VgaTriClkFarm)
     ->Args({8, 3})
     ->UseRealTime()
     ->MeasureProcessCPUTime();
-// main() comes from benchmark_main (see CMakeLists.txt), as in the
-// other google-benchmark benches.
+
+// Custom main: `--trace FILE` (stripped before google-benchmark sees
+// the args) runs the tri-clock stress case once with a profiling
+// tracer and writes Chrome-trace JSON, after the measured benchmarks.
+int main(int argc, char** argv) {
+  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace.empty()) {
+    auto d = designs::make_saa2vga_triclk({.width = 16,
+                                           .height = 12,
+                                           .cdc_depth = 16,
+                                           .frames = 1,
+                                           .cam_period = 5,
+                                           .mem_period = 2,
+                                           .pix_period = 3});
+    return hwpat::benchutil::run_traced(*d, {}, 10'000, trace);
+  }
+  return 0;
+}

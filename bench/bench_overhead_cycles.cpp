@@ -5,6 +5,7 @@
 // dynamic overhead either.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "designs/design.hpp"
 #include "rtl/simulator.hpp"
 
@@ -19,7 +20,9 @@ constexpr int kW = 48, kH = 32;
 void run_once(designs::VideoDesign& d, benchmark::State& state) {
   rtl::Simulator sim(d);
   sim.reset();
-  sim.run_until([&] { return d.finished(); }, 10'000'000);
+  if (!sim.run([&] { return d.finished(); }, 10'000'000))
+    throw Error("bench_overhead_cycles: timeout (" + sim.progress_report() +
+                ")");
   state.counters["sim_cycles"] =
       benchmark::Counter(static_cast<double>(sim.cycle()));
   state.counters["cycles_per_pixel"] = benchmark::Counter(
@@ -101,4 +104,19 @@ BENCHMARK(BM_SimulatorKernel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN): `--trace FILE` runs the
+// flagship pattern design once with a profiling tracer and writes
+// Chrome-trace JSON, after the measured benchmarks finish.
+int main(int argc, char** argv) {
+  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace.empty()) {
+    auto d = designs::make_saa2vga_pattern(
+        {.width = kW, .height = kH, .buffer_depth = 64});
+    return hwpat::benchutil::run_traced(*d, {}, 10'000, trace);
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@
 // saa2vga_pattern at 48x32.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "designs/design.hpp"
 #include "rtl/simulator.hpp"
 
@@ -31,7 +32,8 @@ void run_once(designs::VideoDesign& d, bool full_sweep,
               rtl::Simulator::Stats* stats) {
   rtl::Simulator sim(d, {.full_sweep = full_sweep});
   sim.reset();
-  sim.run_until([&] { return d.finished(); }, 50'000'000);
+  if (!sim.run([&] { return d.finished(); }, 50'000'000))
+    throw Error("bench_sim_kernel: timeout (" + sim.progress_report() + ")");
   *cycles += sim.cycle();
   stats->evals += sim.stats().evals;
   stats->commits += sim.stats().commits;
@@ -106,8 +108,10 @@ std::unique_ptr<designs::VideoDesign> make_farm() {
 
 void warm_up(designs::VideoDesign& d, rtl::Simulator& sim) {
   sim.reset();
-  sim.run_until([&] { return d.finished() || sim.cycle() >= 500; },
-                1'000'000);
+  if (!sim.run([&] { return d.finished() || sim.cycle() >= 500; },
+               1'000'000))
+    throw Error("bench_sim_kernel: warm-up timeout (" +
+                sim.progress_report() + ")");
 }
 
 void BM_SnapshotSave(benchmark::State& state,
@@ -167,5 +171,19 @@ BENCHMARK(BM_BlurPattern<true>)
     ->Name("blur_pattern/full_sweep")
     ->Args({32, 24})
     ->Args({48, 32});
-// main() comes from benchmark_main (see CMakeLists.txt), as in the
-// other google-benchmark benches.
+
+// Custom main: `--trace FILE` (stripped before google-benchmark sees
+// the args) runs the flagship design once with a profiling tracer and
+// writes Chrome-trace JSON, after the measured benchmarks finish.
+int main(int argc, char** argv) {
+  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace.empty()) {
+    auto d = make_flagship();
+    return hwpat::benchutil::run_traced(*d, {}, 10'000, trace);
+  }
+  return 0;
+}

@@ -19,6 +19,12 @@
 // thread-count invariant by design, and CI holds the parallel kernel to
 // the exact single-threaded numbers this way.
 //
+// Any mode also accepts `--trace FILE`: every scenario then runs with
+// a phase tracer attached against the SAME baselines — tracing is
+// wall-time telemetry and must perturb zero counters; the last
+// scenario's Chrome-trace JSON is left at FILE.  CI re-runs the gate
+// this way to hold the zero-cost contract.
+//
 // Any mode also accepts `--snapshot`: every scenario then pauses
 // mid-run for a save_snapshot() -> restore_snapshot() -> save round
 // trip (asserting the blobs are bit-identical) and continues against
@@ -40,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "designs/design.hpp"
 #include "designs/saa2vga_shared.hpp"
 #include "rtl/simulator.hpp"
@@ -59,6 +66,11 @@ int g_threads = 0;
 /// save -> restore -> save round trip and then continues to the SAME
 /// baselines: checkpointing a run must perturb zero counters.
 bool g_snapshot = false;
+
+/// With --trace FILE, every scenario runs with a tracer attached (and
+/// must still match the baselines — telemetry is wall-time only); the
+/// last scenario's trace JSON lands at FILE.
+std::string g_trace;
 
 /// Mid-run pause point for --snapshot; far enough in that every
 /// scenario's pipeline is streaming, early enough that none has
@@ -168,18 +180,24 @@ Counters run_scenario(const Scenario& s) {
   rtl::Simulator::Options opt;
   opt.threads = g_threads;
   rtl::Simulator sim(*d, opt);
+  if (!g_trace.empty()) sim.trace_start({});
   sim.reset();
   if (g_snapshot) {
-    sim.run_until(
-        [&] { return d->finished() || sim.cycle() >= kSnapshotAt; },
-        kMaxCycles);
+    if (!sim.run([&] { return d->finished() || sim.cycle() >= kSnapshotAt; },
+                 kMaxCycles))
+      throw Error("bench_stats_gate: scenario '" + s.name +
+                  "' stalled before the snapshot point (" +
+                  sim.progress_report() + ")");
     const rtl::Snapshot blob = sim.save_snapshot();
     sim.restore_snapshot(blob);
     if (!(sim.save_snapshot() == blob))
       throw Error("bench_stats_gate: snapshot round trip not bit-stable "
                   "in scenario '" + s.name + "'");
   }
-  sim.run_until([&] { return d->finished(); }, kMaxCycles);
+  if (!sim.run([&] { return d->finished(); }, kMaxCycles))
+    throw Error("bench_stats_gate: scenario '" + s.name +
+                "' did not finish (" + sim.progress_report() + ")");
+  if (!g_trace.empty()) sim.trace_write(g_trace);
   return Counters{sim.cycle(),
                   sim.stats().evals,
                   sim.stats().commits,
@@ -438,6 +456,7 @@ int check(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_trace = hwpat::benchutil::take_trace_flag(argc, argv);
   std::string mode = "--print";
   std::string path = "bench/baselines.json";
   bool mode_set = false, path_set = false;
@@ -473,6 +492,11 @@ int main(int argc, char** argv) {
                 << g_threads << " (counters must match the\n"
                 << "single-threaded baselines exactly — they are "
                    "thread-count invariant)\n";
+    if (!g_trace.empty())
+      std::cout << "bench_stats_gate: tracer attached to every scenario "
+                   "(counters must still match the\nbaselines exactly — "
+                   "telemetry is wall-time only); last trace -> "
+                << g_trace << "\n";
     if (g_snapshot)
       std::cout << "bench_stats_gate: snapshot round trip at cycle "
                 << kSnapshotAt << " of every scenario (counters must\n"
@@ -491,7 +515,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::cerr << "usage: bench_stats_gate [--check|--write|--print] "
-                 "[baselines.json] [--threads N] [--snapshot]\n";
+                 "[baselines.json] [--threads N] [--snapshot] "
+                 "[--trace FILE]\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "bench_stats_gate: " << e.what() << "\n";

@@ -10,6 +10,11 @@
 // Standalone main (no google-benchmark dependency):
 //
 //   bench_sweep [--workers N] [--out FILE.json] [--frames N]
+//               [--trace FILE]
+//
+// --trace FILE additionally runs the whole grid with SweepOptions::
+// trace on (per-variant phase-time aggregates land in the JSON) and
+// writes a Chrome-trace JSON of one traced flagship run to FILE.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -17,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "designs/variants.hpp"
 #include "rtl/rtl.hpp"
 
@@ -72,7 +78,12 @@ void json_results(std::ofstream& out, const std::vector<SweepResult>& rs) {
         << ", \"wall_seconds\": " << r.wall_seconds
         << ", \"evals\": " << r.stats.evals
         << ", \"commits\": " << r.stats.commits
-        << ", \"snapshot_bytes\": " << r.snapshot_bytes << "}"
+        << ", \"snapshot_bytes\": " << r.snapshot_bytes
+        << ", \"settle_ns\": " << r.telem.settle_ns
+        << ", \"edge_ns\": " << r.telem.edge_ns
+        << ", \"commit_ns\": " << r.telem.commit_ns
+        << ", \"trace_spans\": " << r.telem.spans
+        << ", \"trace_dropped\": " << r.telem.dropped << "}"
         << (i + 1 < rs.size() ? "," : "") << "\n";
   }
 }
@@ -80,6 +91,7 @@ void json_results(std::ofstream& out, const std::vector<SweepResult>& rs) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
   int workers = 2;
   int frames = 2;
   std::string out_path = "BENCH_sweep.json";
@@ -92,7 +104,8 @@ int main(int argc, char** argv) {
       frames = std::atoi(argv[++i]);
     else {
       std::fprintf(stderr,
-                   "usage: %s [--workers N] [--out FILE] [--frames N]\n",
+                   "usage: %s [--workers N] [--out FILE] [--frames N] "
+                   "[--trace FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -100,7 +113,11 @@ int main(int argc, char** argv) {
 
   try {
     const std::vector<SweepJob> jobs = bench_grid(frames);
-    const SweepDriver driver(SweepOptions{workers, 10'000'000, ""});
+    SweepOptions sopt;
+    sopt.workers = workers;
+    sopt.max_cycles = 10'000'000;
+    sopt.trace = !trace.empty();
+    const SweepDriver driver(sopt);
 
     const auto t0 = std::chrono::steady_clock::now();
     const std::vector<SweepResult> grid = driver.run(jobs);
@@ -156,6 +173,13 @@ int main(int argc, char** argv) {
     if (failed != 0) {
       std::fprintf(stderr, "%d variant(s) failed\n", failed);
       return 1;
+    }
+
+    if (!trace.empty()) {
+      auto top = jobs.front().build();
+      const int rc = hwpat::benchutil::run_traced(*top, jobs.front().sim,
+                                                  5'000, trace);
+      if (rc != 0) return rc;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_sweep: %s\n", e.what());

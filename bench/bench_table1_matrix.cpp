@@ -4,10 +4,15 @@
 // against — the library's own rule encoding.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/text.hpp"
 #include "core/ops.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  // Nothing is simulated here; --trace still yields a loadable file.
+  if (!trace.empty() && hwpat::benchutil::write_empty_trace(trace) != 0)
+    return 1;
   using namespace hwpat;
   using namespace hwpat::core;
 

@@ -1,0 +1,87 @@
+// Shared helpers for the bench binaries: the `--trace <file>` flag
+// every binary accepts (ISSUE 8 observability surface) and the traced
+// reference run behind it.  A traced run is SEPARATE from the measured
+// benchmark iterations — tracing costs wall time, so it never runs
+// inside a timed loop; the flag instead drives one representative run
+// with a profiling Tracer attached and flushes Chrome-trace-event JSON
+// (Perfetto / chrome://tracing) plus a hot-modules table on stderr.
+#pragma once
+
+#include <cstdio>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "rtl/rtl.hpp"
+
+namespace hwpat::benchutil {
+
+/// Strips `--trace FILE` / `--trace=FILE` out of argv (so the
+/// remaining flags can go to google-benchmark or the bench's own
+/// parser) and returns the file path, "" when the flag is absent.
+inline std::string take_trace_flag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (a.rfind("--trace=", 0) == 0) {
+      path = a.substr(8);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return path;
+}
+
+/// One traced reference run: profiling tracer on, reset, `steps`
+/// clock-edge events, trace JSON to `path`, hot-modules table to
+/// stderr.  Returns a process exit code (0 ok).
+inline int run_traced(rtl::Module& top, const rtl::Simulator::Options& opt,
+                      std::uint64_t steps, const std::string& path) {
+  try {
+    rtl::Simulator sim(top, opt);
+    rtl::Tracer::Options topt;
+    topt.profile_modules = true;
+    sim.trace_start(topt);
+    sim.reset();
+    while (steps > 0) {
+      constexpr std::uint64_t kChunk = 1u << 20;
+      const std::uint64_t k = steps < kChunk ? steps : kChunk;
+      sim.step(static_cast<int>(k));
+      steps -= k;
+    }
+    sim.trace_write(path);
+    const rtl::Tracer& t = *sim.telemetry();
+    std::fprintf(stderr,
+                 "trace: wrote %s (%zu spans, %llu dropped, %zu lanes)\n",
+                 path.c_str(), t.span_count(),
+                 static_cast<unsigned long long>(t.dropped()),
+                 t.lane_count());
+    std::fputs(t.hot_modules_report(10).c_str(), stderr);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--trace failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+/// For benches that simulate nothing (pure codegen / table printers):
+/// an honest empty-but-loadable trace file, so `--trace` behaves
+/// uniformly across all bench binaries.
+inline int write_empty_trace(const std::string& path) {
+  try {
+    const rtl::Tracer t(rtl::Tracer::Options{}, 1, {});
+    t.write_chrome_json(path);
+    std::fprintf(stderr, "trace: wrote %s (no simulated design)\n",
+                 path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--trace failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace hwpat::benchutil

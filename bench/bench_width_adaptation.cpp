@@ -8,6 +8,7 @@
 // does NOT dissolve).
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/text.hpp"
 #include "core/algorithm.hpp"
 #include "estimate/tech.hpp"
@@ -94,7 +95,8 @@ struct PipeTb : rtl::Module {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace = benchutil::take_trace_flag(argc, argv);
   std::printf("§3.3 width adaptation sweep: element width over device "
               "bus width\n\n");
   TextTable t;
@@ -121,7 +123,9 @@ int main() {
     PipeTb tb(c.elem, c.bus, kN);
     rtl::Simulator sim(tb);
     sim.reset();
-    sim.run_until([&] { return tb.finished(); }, 10'000'000);
+    if (!sim.run([&] { return tb.finished(); }, 10'000'000))
+      throw Error("bench_width_adaptation: timeout (" +
+                  sim.progress_report() + ")");
     const double cpe =
         static_cast<double>(sim.cycle()) / static_cast<double>(kN);
     rtl::PrimitiveTally ti, to;
@@ -145,5 +149,10 @@ int main() {
               "adapted iterators cost an assembly register and run at "
               ">= k cycles/element\n",
               ok ? "PASS" : "FAIL");
+  if (!trace.empty()) {
+    PipeTb tb(24, 8, kN);
+    const int rc = benchutil::run_traced(tb, {}, 2'000, trace);
+    if (rc != 0) return rc;
+  }
   return ok ? 0 : 1;
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Runs the simulation-kernel benchmarks and records the results as
-# BENCH_sim.json (single-clock kernel) and BENCH_multiclock.json
-# (multi-clock scheduler) in the repository root, so successive PRs
-# accumulate a perf trajectory.  Usage:
+# BENCH_sim.json (single-clock kernel), BENCH_multiclock.json
+# (multi-clock scheduler) and BENCH_sweep.json (batch sweep service,
+# per-variant throughput + telemetry aggregates) in the repository
+# root, so successive PRs accumulate a perf trajectory.  Usage:
 #
 #   bench/run_bench.sh [build_dir]
 #
@@ -18,13 +19,14 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
-# The two google-benchmark programs this script runs for the JSON perf
-# trajectory, plus the standalone bench programs the build must also
-# have produced (bench_stats_gate is the CI perf gate).
-json_benches="bench_sim_kernel bench_multiclock"
+# The google-benchmark programs this script runs for the JSON perf
+# trajectory (bench_sweep emits its own JSON format), plus the
+# standalone bench programs the build must also have produced
+# (bench_stats_gate is the CI perf gate).
+json_benches="bench_sim_kernel bench_multiclock bench_sweep"
 other_benches="bench_stats_gate bench_ablation bench_designspace \
 bench_fig3_pipeline bench_fig4_fig5_codegen bench_overhead_cycles \
-bench_sweep bench_table1_matrix bench_table3_resources \
+bench_table1_matrix bench_table3_resources \
 bench_width_adaptation"
 
 missing=""
@@ -55,3 +57,9 @@ run_one() {
 
 run_one bench_sim_kernel BENCH_sim.json
 run_one bench_multiclock BENCH_multiclock.json
+
+# The sweep bench writes its own per-variant JSON (throughput plus the
+# per-job telemetry aggregates when tracing is on).
+"$build_dir/bench_sweep" --workers 2 --out "$repo_root/BENCH_sweep.json"
+echo
+echo "wrote $repo_root/BENCH_sweep.json"

@@ -23,7 +23,9 @@ int main() {
   auto d = designs::make_blur_pattern(cfg);
   rtl::Simulator sim(*d);
   sim.reset();
-  sim.run_until([&] { return d->finished(); }, 10'000'000);
+  if (!sim.run([&] { return d->finished(); }, 10'000'000))
+    throw hwpat::Error("blur_camera: timeout (" + sim.progress_report() +
+                       ")");
 
   const auto input = designs::camera_frames(cfg.width, cfg.height,
                                             cfg.frames, cfg.pattern_seed);

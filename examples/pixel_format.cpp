@@ -132,7 +132,9 @@ std::vector<Word> run(int elem, int bus, const std::vector<Word>& px,
   Pipeline p(elem, bus, px);
   rtl::Simulator sim(p);
   sim.reset();
-  sim.run_until([&] { return p.finished(); }, 1'000'000);
+  if (!sim.run([&] { return p.finished(); }, 1'000'000))
+    throw hwpat::Error("pixel_format: timeout (" + sim.progress_report() +
+                       ")");
   *cycles = sim.cycle();
   return p.result();
 }

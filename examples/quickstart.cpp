@@ -85,8 +85,10 @@ int main() {
   rtl::Simulator sim(top);
   sim.open_vcd("quickstart.vcd");
   sim.reset();
-  sim.run_until([&] { return top.received.size() == top.to_send.size(); },
-                1000);
+  if (!sim.run([&] { return top.received.size() == top.to_send.size(); },
+               1000))
+    throw hwpat::Error("quickstart: timeout (" + sim.progress_report() +
+                       ")");
 
   std::printf("copied %zu words through the pattern in %llu cycles:\n",
               top.received.size(),

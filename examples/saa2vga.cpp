@@ -20,7 +20,8 @@ namespace {
 std::vector<video::Frame> run(designs::VideoDesign& d) {
   rtl::Simulator sim(d);
   sim.reset();
-  sim.run_until([&] { return d.finished(); }, 10'000'000);
+  if (!sim.run([&] { return d.finished(); }, 10'000'000))
+    throw hwpat::Error("saa2vga: timeout (" + sim.progress_report() + ")");
   std::printf("  %-18s %8llu cycles for %zu frame(s)\n", d.name().c_str(),
               static_cast<unsigned long long>(sim.cycle()),
               d.sink().frames().size());

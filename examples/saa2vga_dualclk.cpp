@@ -31,7 +31,9 @@ int main() {
   rtl::Simulator sim(*d, {.tick_ps = 10'000});  // 1 tick = 10 ns
   sim.open_vcd("saa2vga_dualclk.vcd");
   sim.reset();
-  sim.run_until([&] { return d->finished(); }, 10'000'000);
+  if (!sim.run([&] { return d->finished(); }, 10'000'000))
+    throw hwpat::Error("saa2vga_dualclk: timeout (" + sim.progress_report() +
+                       ")");
 
   std::printf("finished after %llu edge events (%llu ticks = %.1f us)\n",
               static_cast<unsigned long long>(sim.cycle()),

@@ -26,14 +26,16 @@ int main() {
   auto two = designs::make_saa2vga_pattern(cfg);
   rtl::Simulator s2(*two);
   s2.reset();
-  s2.run_until([&] { return two->finished(); }, 50'000'000);
+  if (!s2.run([&] { return two->finished(); }, 50'000'000))
+    throw hwpat::Error("shared_sram: timeout (" + s2.progress_report() + ")");
   std::printf("  two private SRAMs : %8llu cycles\n",
               static_cast<unsigned long long>(s2.cycle()));
 
   designs::Saa2VgaPatternShared one(cfg);
   rtl::Simulator s1(one);
   s1.reset();
-  s1.run_until([&] { return one.finished(); }, 50'000'000);
+  if (!s1.run([&] { return one.finished(); }, 50'000'000))
+    throw hwpat::Error("shared_sram: timeout (" + s1.progress_report() + ")");
   std::printf("  one shared SRAM   : %8llu cycles (%.2fx slower)\n",
               static_cast<unsigned long long>(s1.cycle()),
               static_cast<double>(s1.cycle()) /

@@ -246,6 +246,8 @@ hwpat_run_result to_c_result(hwpat::rtl::RunResult r) {
 struct hwpat_sim {
   std::unique_ptr<VideoDesign> design;
   std::unique_ptr<Simulator> sim;
+  /// Backing store for hwpat_sim_trace_report's returned pointer.
+  std::string trace_report;
 };
 
 struct hwpat_snapshot {
@@ -399,7 +401,70 @@ hwpat_status hwpat_sim_stats_get(const hwpat_sim* sim,
     full.commits = s.commits;
     full.commit_changes = s.commit_changes;
     full.edges = s.edges;
+    full.seq_touches = s.seq_touches;
+    full.seq_skips = s.seq_skips;
+    full.act_skips = s.act_skips;
+    full.partition_settles = s.partition_settles;
+    full.partition_skips = s.partition_skips;
     copy_out(out, full);
+  });
+}
+
+void hwpat_trace_options_init(hwpat_trace_options* opt) {
+  if (opt == nullptr) return;
+  const hwpat::rtl::Tracer::Options d;
+  *opt = hwpat_trace_options{};
+  opt->struct_size = sizeof(hwpat_trace_options);
+  opt->ring_capacity = d.ring_capacity;
+  opt->profile_modules = d.profile_modules ? 1 : 0;
+}
+
+hwpat_status hwpat_sim_trace_start(hwpat_sim* sim,
+                                   const hwpat_trace_options* opt) {
+  if (sim == nullptr)
+    return bad_arg("hwpat_sim_trace_start: sim is NULL");
+  return guarded([&] {
+    hwpat::rtl::Tracer::Options topt;
+    if (opt != nullptr) {
+      if (opt->struct_size == 0 ||
+          opt->struct_size > sizeof(hwpat_trace_options))
+        throw ArgumentError{
+            "hwpat_trace_options.struct_size must be "
+            "sizeof(hwpat_trace_options) or the size of an older "
+            "revision, got " + std::to_string(opt->struct_size)};
+      hwpat_trace_options full;
+      hwpat_trace_options_init(&full);
+      std::memcpy(&full, opt, opt->struct_size);
+      topt.ring_capacity = full.ring_capacity;
+      topt.profile_modules = full.profile_modules != 0;
+    }
+    sim->sim->trace_start(topt);
+  });
+}
+
+hwpat_status hwpat_sim_trace_stop(hwpat_sim* sim) {
+  if (sim == nullptr) return bad_arg("hwpat_sim_trace_stop: sim is NULL");
+  return guarded([&] { sim->sim->trace_stop(); });
+}
+
+hwpat_status hwpat_sim_trace_write(const hwpat_sim* sim, const char* path) {
+  if (sim == nullptr || path == nullptr)
+    return bad_arg("hwpat_sim_trace_write: NULL argument");
+  return guarded([&] { sim->sim->trace_write(path); });
+}
+
+hwpat_status hwpat_sim_trace_report(hwpat_sim* sim, size_t top_n,
+                                    const char** out) {
+  if (sim == nullptr || out == nullptr)
+    return bad_arg("hwpat_sim_trace_report: NULL argument");
+  return guarded([&] {
+    const hwpat::rtl::Tracer* t = sim->sim->telemetry();
+    if (t == nullptr)
+      throw hwpat::Error(
+          "hwpat_sim_trace_report: tracing is not active — call "
+          "hwpat_sim_trace_start() first");
+    sim->trace_report = t->hot_modules_report(top_n);
+    *out = sim->trace_report.c_str();
   });
 }
 
@@ -448,8 +513,10 @@ hwpat_status hwpat_sweep_create(int workers, uint64_t max_cycles,
   if (out == nullptr) return bad_arg("hwpat_sweep_create: out is NULL");
   return guarded([&] {
     // Validate eagerly through the C++ driver's own checks.
-    (void)hwpat::rtl::SweepDriver(
-        hwpat::rtl::SweepOptions{workers, max_cycles, ""});
+    hwpat::rtl::SweepOptions sopt;
+    sopt.workers = workers;
+    sopt.max_cycles = max_cycles;
+    (void)hwpat::rtl::SweepDriver(sopt);
     auto h = std::make_unique<hwpat_sweep>();
     h->workers = workers;
     h->max_cycles = max_cycles;
@@ -492,8 +559,10 @@ hwpat_status hwpat_sweep_run(hwpat_sweep* sweep) {
       job.done = hwpat::designs::video_design_finished;
       jobs.push_back(std::move(job));
     }
-    const hwpat::rtl::SweepDriver driver(
-        hwpat::rtl::SweepOptions{sweep->workers, sweep->max_cycles, ""});
+    hwpat::rtl::SweepOptions sopt;
+    sopt.workers = sweep->workers;
+    sopt.max_cycles = sweep->max_cycles;
+    const hwpat::rtl::SweepDriver driver(sopt);
     sweep->results = driver.run(jobs);
   });
 }

@@ -135,10 +135,48 @@ typedef struct hwpat_sim_stats {
   uint64_t commits;
   uint64_t commit_changes;
   uint64_t edges;
+  /* Appended fields (a caller built against the older struct gets the
+   * prefix above — struct_size negotiation, no ABI bump needed). */
+  uint64_t seq_touches;       /* sequential modules marked by an edge */
+  uint64_t seq_skips;         /* edge-insensitive modules skipped */
+  uint64_t act_skips;         /* activation-list eval skips */
+  uint64_t partition_settles; /* per-partition settle passes */
+  uint64_t partition_skips;   /* partitions skipped as quiescent */
 } hwpat_sim_stats;
 
 /* Copies the deterministic work counters (struct_size-truncated). */
 hwpat_status hwpat_sim_stats_get(const hwpat_sim* sim, hwpat_sim_stats* out);
+
+/* ---- telemetry (wall-time tracing; mirrors rtl::Tracer) -----------
+ *
+ * Strictly separate from the stats above: stats are deterministic and
+ * unchanged by tracing; telemetry is wall time.  Off by default — when
+ * off, the kernel hot path pays one null-pointer branch. */
+
+typedef struct hwpat_trace_options {
+  size_t struct_size;   /* set to sizeof(hwpat_trace_options) */
+  size_t ring_capacity; /* phase spans retained per lane; 0 = default */
+  int profile_modules;  /* 0/1: per-module eval/clock wall time */
+} hwpat_trace_options;
+
+/* Fills `opt` with the library defaults (and stamps struct_size). */
+void hwpat_trace_options_init(hwpat_trace_options* opt);
+
+/* Attaches a tracer (restarting drops previous spans).  opt may be
+ * NULL for defaults. */
+hwpat_status hwpat_sim_trace_start(hwpat_sim* sim,
+                                   const hwpat_trace_options* opt);
+/* Detaches and discards the tracer; no-op status if none is active. */
+hwpat_status hwpat_sim_trace_stop(hwpat_sim* sim);
+/* Flushes the span log as Chrome-trace-event JSON to `path` (load it
+ * in Perfetto or chrome://tracing).  HWPAT_ERR_ERROR when tracing is
+ * not active or the file cannot be written. */
+hwpat_status hwpat_sim_trace_write(const hwpat_sim* sim, const char* path);
+/* Top-`top_n` hot-modules table (profile_modules runs only); `*out`
+ * may be "" when nothing was profiled.  The string is owned by the
+ * handle and valid until the next trace call or destroy. */
+hwpat_status hwpat_sim_trace_report(hwpat_sim* sim, size_t top_n,
+                                    const char** out);
 
 /* ---- snapshots ---------------------------------------------------- */
 

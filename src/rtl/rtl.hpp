@@ -10,14 +10,16 @@
 //   rtl::RunResult / rtl::RunStatus        value-carrying run outcomes
 //   rtl::Snapshot                          save/restore + deterministic replay
 //   rtl::SweepDriver                       batch sweeps + snapshot forking
+//   rtl::Tracer (via Simulator::trace_start)  wall-time telemetry + profiling
 //   rtl::VcdWriter (via Simulator::open_vcd)  waveform dumps
 //   rtl::FaultPoint / fault plans          crash-consistency injection
 //   hwpat::Error taxonomy (common/error.hpp)  what the kernel throws
 //
 // Everything reachable from this header follows the deprecation policy
 // documented in src/rtl/README.md ("Embedding and batch sweeps"):
-// a replaced API keeps a documented shim for one PR before removal
-// (currently: Simulator::run_until(), superseded by Simulator::run()).
+// a replaced API keeps a documented shim for one PR before removal.
+// (The run_until() shims, deprecated last PR in favour of
+// Simulator::run(), are gone as of this one.)
 // Headers NOT included here (module internals, the settle-partition
 // machinery, StateWriter/StateReader codec details beyond what Module
 // hooks need) may change shape between PRs without notice.
@@ -35,4 +37,5 @@
 #include "rtl/simulator.hpp"
 #include "rtl/snapshot.hpp"
 #include "rtl/sweep.hpp"
+#include "rtl/trace.hpp"
 #include "rtl/vcd.hpp"

@@ -25,6 +25,7 @@ namespace hwpat::rtl {
 /// other shared word.
 struct Simulator::ParallelCtx {
   ReadTracer tracer;
+  std::size_t lane = 0;  ///< context index — the telemetry lane/tid
   std::vector<Module*> eval_list;  ///< worklist swap target, per drain
   /// Fanout merges observed while tracing, deferred so workers never
   /// mutate the shared fanout_/last_reader_ fields; the coordinating
@@ -52,8 +53,10 @@ struct Simulator::ParallelSettle {
     // read-stamp collisions could silently drop fanout edges.
     HWPAT_ASSERT(contexts >= 1 && contexts <= 255);
     ctxs_.resize(static_cast<std::size_t>(contexts));
-    for (std::size_t i = 0; i < ctxs_.size(); ++i)
+    for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+      ctxs_[i].lane = i;
       ctxs_[i].stamp_tag = static_cast<std::uint64_t>(i + 1) << 56;
+    }
     for (std::size_t i = 1; i < ctxs_.size(); ++i)
       workers_.emplace_back([this, i] { worker_main(i); });
   }
@@ -150,6 +153,10 @@ struct Simulator::ParallelSettle {
 
 void Simulator::drain_partition_parallel(std::size_t pi, ParallelCtx& c) {
   Partition& p = parts_[pi];
+  // Telemetry span over the whole drain, on this context's own lane —
+  // the timeline that makes worker utilization and barrier stalls
+  // visible.  A throw abandons the span (recovery is reset(), as ever).
+  const std::uint64_t t0 = telem_ != nullptr ? telem_->now_ns() : 0;
   // Reroute every write this context makes to the drained partition's
   // pending list: cross-partition writes (legal, if undisciplined)
   // land in the writer's list instead of racing the signal's own.
@@ -162,7 +169,10 @@ void Simulator::drain_partition_parallel(std::size_t pi, ParallelCtx& c) {
     {
       TraceGuard guard(&c.tracer);
       try {
-        m->eval_comb();
+        if (telem_ == nullptr)
+          m->eval_comb();
+        else
+          eval_profiled(m, c.lane);
       } catch (...) {
         SignalBase::write_sink_ = nullptr;
         throw;  // drain() records it; recovery requires reset(), as ever
@@ -175,6 +185,9 @@ void Simulator::drain_partition_parallel(std::size_t pi, ParallelCtx& c) {
   }
   c.eval_list.clear();
   SignalBase::write_sink_ = nullptr;
+  if (telem_ != nullptr)
+    telem_->add(TracePhase::PartitionSettle, c.lane, t0, telem_->now_ns(),
+                pi);
 }
 
 const char* to_string(RunResult r) {
@@ -507,11 +520,10 @@ void Simulator::require_domain_index(std::size_t domain_idx,
                 " domains)");
 }
 
-void Simulator::throw_run_until_timeout(std::uint64_t max_cycles) const {
-  std::string msg = "run_until: condition not reached within " +
-                    std::to_string(max_cycles) + " cycles in design '" +
-                    top_.name() + "' (at cycle " + std::to_string(cycle_) +
-                    ", tick " + std::to_string(tick_) + "; domain edges:";
+std::string Simulator::progress_report() const {
+  std::string msg = "design '" + top_.name() + "' at cycle " +
+                    std::to_string(cycle_) + ", tick " +
+                    std::to_string(tick_) + "; domain edges:";
   for (std::size_t i = 0; i < scheds_.size(); ++i) {
     msg += (i == 0 ? " " : ", ") + scheds_[i].name + "=" +
            std::to_string(i < stats_.domain_edges.size()
@@ -524,8 +536,58 @@ void Simulator::throw_run_until_timeout(std::uint64_t max_cycles) const {
       msg += ")";
     }
   }
-  msg += ")";
-  throw Error(msg);
+  return msg;
+}
+
+// ---------------------------------------------------------------------
+// Telemetry (rtl/trace.hpp)
+// ---------------------------------------------------------------------
+
+void Simulator::trace_start(const Tracer::Options& topt) {
+  std::vector<std::string> paths;
+  if (topt.profile_modules) {
+    paths.reserve(modules_.size());
+    for (const Module* m : modules_) paths.push_back(m->full_name());
+  }
+  // One lane per parallel-settle execution context; everything the
+  // coordinating thread records (edges, commits, serial settles) lands
+  // on lane 0.
+  const std::size_t lanes = par_ != nullptr ? par_->ctxs().size() : 1;
+  telem_owned_ = std::make_unique<Tracer>(topt, lanes, std::move(paths));
+  telem_ = telem_owned_.get();
+}
+
+void Simulator::trace_stop() {
+  telem_ = nullptr;
+  telem_owned_.reset();
+}
+
+void Simulator::trace_write(const std::string& path) const {
+  if (telem_ == nullptr)
+    throw Error(
+        "trace_write: tracing is not active — call trace_start() first");
+  telem_->write_chrome_json(path);
+}
+
+void Simulator::eval_profiled(Module* m, std::size_t lane) {
+  if (!telem_->profiling()) {
+    m->eval_comb();
+    return;
+  }
+  const std::uint64_t t0 = telem_->now_ns();
+  m->eval_comb();  // a throw skips the attribution; recovery as ever
+  telem_->add_eval(lane, m->sim_id_, telem_->now_ns() - t0);
+}
+
+void Simulator::run_on_clock_profiled(Module* m) {
+  if (!telem_->profiling()) {
+    m->on_clock();
+    return;
+  }
+  // on_clock() always runs on the coordinating thread: lane 0.
+  const std::uint64_t t0 = telem_->now_ns();
+  m->on_clock();
+  telem_->add_clock(0, m->sim_id_, telem_->now_ns() - t0);
 }
 
 // ---------------------------------------------------------------------
@@ -570,7 +632,10 @@ void Simulator::eval_traced(Module* m) {
   tracer_.begin(++eval_stamp_);
   {
     TraceGuard guard(&tracer_);
-    m->eval_comb();
+    if (telem_ == nullptr)
+      m->eval_comb();
+    else
+      eval_profiled(m, 0);
   }
   // Fold newly observed reads into the signals' fanout lists.  The
   // accumulated read set is monotone, so a module is re-evaluated
@@ -586,6 +651,10 @@ void Simulator::eval_traced(Module* m) {
 }
 
 void Simulator::drain_pending(Partition& part) {
+  // Commit drains always run on the coordinating thread (lane 0).
+  // Empty drains (every settled delta probes once) record no span.
+  const bool span = telem_ != nullptr && !part.pending.empty();
+  const std::uint64_t t0 = span ? telem_->now_ns() : 0;
   for (SignalBase* s : part.pending) {
     maybe_inject(FaultPoint::Commit);
     s->pending_ = false;
@@ -596,6 +665,9 @@ void Simulator::drain_pending(Partition& part) {
     for (Module* m : s->fanout_) mark_module_dirty(m);
   }
   part.pending.clear();
+  if (span)
+    telem_->add(TracePhase::CommitDrain, 0, t0, telem_->now_ns(),
+                static_cast<std::uint64_t>(&part - parts_.data()));
 }
 
 void Simulator::commit_pending() {
@@ -699,12 +771,16 @@ void Simulator::settle_event() {
       // evaluation, so swapping each worklist out per delta is safe.
       for (const std::size_t pi : active_parts_) {
         Partition& p = parts_[pi];
+        const std::uint64_t t0 = telem_ != nullptr ? telem_->now_ns() : 0;
         eval_list_.swap(p.worklist);
         for (Module* m : eval_list_) {
           m->comb_dirty_ = false;
           eval_traced(m);
         }
         eval_list_.clear();
+        if (telem_ != nullptr)
+          telem_->add(TracePhase::PartitionSettle, 0, t0,
+                      telem_->now_ns(), pi);
       }
     }
     active_parts_.clear();
@@ -771,14 +847,14 @@ void Simulator::fire_edges(bool check_contract) {
     maybe_inject(FaultPoint::Edge);
     DomainSched& ds = scheds_[di];
     if (!check_contract) {
-      for (Module* m : ds.active) m->on_clock();
+      for (Module* m : ds.active) run_on_clock(m);
     } else if (single_part_) {
       // One partition: the pre-call pending mark is one register-held
       // size, exactly the pre-partition-split cost.
       const std::vector<SignalBase*>& pending = parts_[0].pending;
       for (Module* m : ds.active) {
         const std::size_t before = pending.size();
-        m->on_clock();
+        run_on_clock(m);
         if (!m->opaque_state())
           check_seq_writes_in(m, pending, before);
       }
@@ -787,11 +863,11 @@ void Simulator::fire_edges(bool check_contract) {
         // Opaque modules may write anything: skip the per-partition
         // pending snapshot their check would ignore anyway.
         if (m->opaque_state()) {
-          m->on_clock();
+          run_on_clock(m);
           continue;
         }
         record_pend_marks();
-        m->on_clock();
+        run_on_clock(m);
         check_seq_writes(m);
       }
     }
@@ -860,6 +936,7 @@ void Simulator::clock_edge_event() {
 void Simulator::settle() {
   BusyGuard busy(busy_);
   ++stats_.settles;
+  const std::uint64_t t0 = telem_ != nullptr ? telem_->now_ns() : 0;
   // A throw out of a settle (CombLoopError, an eval_comb() throw, an
   // injected fault) leaves partially evaluated/committed state behind:
   // mark it so save_snapshot() refuses until restore/reset recovers.
@@ -870,10 +947,13 @@ void Simulator::settle() {
     settle_event();
   }
   needs_recovery_ = false;
+  if (telem_ != nullptr)
+    telem_->add(TracePhase::Settle, 0, t0, telem_->now_ns(), tick_);
 }
 
 void Simulator::reset() {
   BusyGuard busy(busy_);
+  const std::uint64_t treset = telem_ != nullptr ? telem_->now_ns() : 0;
   needs_recovery_ = true;  // cleared below once the reset completed
   cycle_ = 0;
   tick_ = 0;
@@ -922,6 +1002,8 @@ void Simulator::reset() {
   }
   settle();
   needs_recovery_ = false;
+  if (telem_ != nullptr)
+    telem_->add(TracePhase::Reset, 0, treset, telem_->now_ns());
   if (vcd_) {
     vcd_full_pending_ = true;
     sample_vcd();
@@ -959,11 +1041,15 @@ void Simulator::step(int n) {
     if (firing_.empty()) firing_.push_back(0);
     for (int i = 0; i < n; ++i) {
       settle();
+      const std::uint64_t t0 = telem_ != nullptr ? telem_->now_ns() : 0;
       if (opt_.full_sweep) {
         fire_edges_full_sweep();
       } else {
         clock_edge_event();
       }
+      if (telem_ != nullptr)
+        telem_->add(TracePhase::EdgeEvent, 0, t0, telem_->now_ns(),
+                    ds.next_edge);
       // Time advances only once the event succeeded: an aborted event
       // leaves now() (and everything else) untouched.
       tick_ = ds.next_edge;
@@ -978,12 +1064,15 @@ void Simulator::step(int n) {
   for (int i = 0; i < n; ++i) {
     settle();
     const std::uint64_t t = pop_due_edges();
+    const std::uint64_t t0 = telem_ != nullptr ? telem_->now_ns() : 0;
     try {
       if (opt_.full_sweep) {
         fire_edges_full_sweep();
       } else {
         clock_edge_event();
       }
+      if (telem_ != nullptr)
+        telem_->add(TracePhase::EdgeEvent, 0, t0, telem_->now_ns(), t);
     } catch (...) {
       // Push the popped edges back un-advanced, so a caught throw (a
       // strict device raising ProtocolError) leaves the heap

@@ -76,6 +76,7 @@
 #include "rtl/clock.hpp"
 #include "rtl/fault.hpp"
 #include "rtl/module.hpp"
+#include "rtl/trace.hpp"
 
 namespace hwpat::rtl {
 
@@ -151,7 +152,7 @@ class Simulator {
     /// empty = disabled): forces one FaultInjected throw at the chosen
     /// point of the event loop, for crash-consistency testing.  Parsed
     /// at construction; malformed plans throw Error there.
-    std::string fault_plan;
+    std::string fault_plan{};
   };
 
   /// Work counters, cumulative since construction or reset_stats().
@@ -259,37 +260,6 @@ class Simulator {
     }
   }
 
-  /// DEPRECATED shim, kept for one PR — prefer run(), which reports
-  /// Timeout/FaultLatched as values.  Steps until `pred()` is true, at
-  /// most `max_cycles` edge events.  Returns the number of events
-  /// consumed; throws Error on timeout with per-domain edge counts in
-  /// the message, and lets FaultInjected escape unretried.
-  template <typename Pred>
-  std::uint64_t run_until(Pred&& pred, std::uint64_t max_cycles) {
-    for (std::uint64_t n = 0;; ++n) {
-      if (pred()) return n;
-      if (n >= max_cycles) throw_run_until_timeout(max_cycles);
-      step();
-    }
-  }
-
-  /// DEPRECATED shim, kept for one PR — prefer the domain-filtered
-  /// run() overload.  Semantics of the two-argument run_until() with
-  /// the predicate skipped after events where `domain_idx` did not
-  /// fire.
-  template <typename Pred>
-  std::uint64_t run_until(Pred&& pred, std::uint64_t max_cycles,
-                          std::size_t domain_idx) {
-    require_domain_index(domain_idx, "run_until");
-    if (pred()) return 0;
-    for (std::uint64_t n = 0;;) {
-      if (n >= max_cycles) throw_run_until_timeout(max_cycles);
-      step();
-      ++n;
-      if (last_event_fired(domain_idx) && pred()) return n;
-    }
-  }
-
   /// True when domain `domain_idx` fired at the most recent clock-edge
   /// event (false before the first step after construction or reset).
   [[nodiscard]] bool last_event_fired(std::size_t domain_idx) const {
@@ -356,6 +326,32 @@ class Simulator {
   /// as FaultLatched.  save_snapshot() refuses in this state;
   /// restore_snapshot() or reset() clears it.
   [[nodiscard]] bool needs_recovery() const { return needs_recovery_; }
+
+  /// One-line progress diagnostic: cycle, tick and per-domain edge
+  /// counts (with period/phase where non-default) — the context to log
+  /// next to a run() that came back Timeout.
+  [[nodiscard]] std::string progress_report() const;
+
+  // ---- telemetry (rtl/trace.hpp) ------------------------------------
+  // Wall-time observability, strictly separated from the deterministic
+  // Stats counters: attaching a tracer perturbs no counter, no VCD
+  // byte and no scheduling decision (gated by tests/test_telemetry.cpp
+  // and by bench_stats_gate --trace in CI).  With tracing off the hot
+  // path pays exactly one null-pointer branch per hook.
+
+  /// Attaches a fresh Tracer (replacing any previous one).  Lanes are
+  /// the parallel settle's execution contexts (1 when the engine is
+  /// off); with Options::profile_modules the module paths are captured
+  /// for the hot-modules report.  Call between steps.
+  void trace_start(const Tracer::Options& topt = {});
+  /// Detaches and destroys the tracer; a no-op when tracing is off.
+  void trace_stop();
+  /// The attached tracer, or nullptr when tracing is off.  Owned by
+  /// the simulator — valid until trace_stop()/trace_start()/destruction.
+  [[nodiscard]] Tracer* telemetry() const { return telem_; }
+  /// Flushes the attached tracer as Chrome-trace-event JSON to `path`
+  /// (throws Error when tracing is off or the file cannot be written).
+  void trace_write(const std::string& path) const;
 
  private:
   /// Rejects every invalid Options field at elaboration with a message
@@ -441,6 +437,19 @@ class Simulator {
   /// Runs one eval_comb() under the read tracer and folds newly observed
   /// reads into the signals' fanout lists.
   void eval_traced(Module* m);
+  /// The eval_comb() call itself, with the telemetry profiling hook
+  /// folded in (reached only when a tracer is attached).
+  void eval_profiled(Module* m, std::size_t lane);
+  /// One activation-list on_clock() call.  Tracing off — the only
+  /// state benchmarked — is a single null-pointer branch.
+  void run_on_clock(Module* m) {
+    if (telem_ == nullptr) {
+      m->on_clock();
+      return;
+    }
+    run_on_clock_profiled(m);
+  }
+  void run_on_clock_profiled(Module* m);
   void mark_all_modules_dirty();
   void mark_module_dirty(Module* m) {
     if (!m->comb_dirty_) {
@@ -508,7 +517,6 @@ class Simulator {
   void mark_vcd_change(SignalBase* s);
   void sample_vcd();
   [[noreturn]] void throw_comb_loop() const;
-  [[noreturn]] void throw_run_until_timeout(std::uint64_t max_cycles) const;
 
   /// Elaboration-time comb-only hardening (Options::check_seq_contract):
   /// throws Error when a declare_comb_only() module overrides
@@ -595,6 +603,11 @@ class Simulator {
   /// single-partition design).  Defined in simulator.cpp.
   struct ParallelSettle;
   std::unique_ptr<ParallelSettle> par_;
+
+  /// Telemetry (trace_start/trace_stop).  telem_ aliases telem_owned_
+  /// so the hot-path hooks test one raw pointer; nullptr = tracing off.
+  std::unique_ptr<Tracer> telem_owned_;
+  Tracer* telem_ = nullptr;
 
   // Event-driven kernel state.
   std::vector<Module*> eval_list_;        ///< dirty modules, this delta

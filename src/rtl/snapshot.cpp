@@ -144,8 +144,12 @@ Snapshot Simulator::save_snapshot() const {
       throw SnapshotError("save_snapshot: signal '" + s->full_name() +
                   "' has an uncommitted write — settle() (or finish "
                   "the step) before snapshotting");
+  const std::uint64_t t0 = telem_ != nullptr ? telem_->now_ns() : 0;
   StateWriter w;
-  w.bytes(kMagic, 4);
+  // Byte-at-a-time (identical blob): GCC 12's -Wstringop-overflow
+  // misfires on vector::insert of the 4-byte array once this TU's
+  // inlining shifts.
+  for (const std::uint8_t b : kMagic) w.u8(b);
   w.u8(kVersion);
   w.u8(opt_.full_sweep ? kFlagFullSweep : 0);
   w.u64(topology_hash());
@@ -180,7 +184,11 @@ Snapshot Simulator::save_snapshot() const {
   }
   // Module payloads, length-framed.
   save_module_states(w);
-  return Snapshot(std::move(w).take());
+  std::vector<std::uint8_t> bytes = std::move(w).take();
+  if (telem_ != nullptr)
+    telem_->add(TracePhase::SnapshotSave, 0, t0, telem_->now_ns(),
+                bytes.size());
+  return Snapshot(std::move(bytes));
 }
 
 void Simulator::restore_snapshot(const Snapshot& snap) {
@@ -215,6 +223,7 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
   // eligible-occurrence counter rewinds with it (a fault that already
   // fired stays fired: replay must not re-crash).
   fault_seen_ = 0;
+  const std::uint64_t t0 = telem_ != nullptr ? telem_->now_ns() : 0;
   try {
     // Scheduler.
     tick_ = r.u64();
@@ -305,6 +314,9 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
     }
     if (vcd_) vcd_full_pending_ = true;
     needs_recovery_ = false;
+    if (telem_ != nullptr)
+      telem_->add(TracePhase::SnapshotRestore, 0, t0, telem_->now_ns(),
+                  snap.size_bytes());
   } catch (const Error& e) {
     // Corruption detected after mutation began: never leave the
     // simulator half-restored — fall back to construction state.

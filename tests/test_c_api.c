@@ -103,6 +103,73 @@ static void test_flagship_run(void) {
   CHECK(hwpat_sim_stats_get(sim, &stats) == HWPAT_OK);
   CHECK(stats.steps == steps);
   CHECK(stats.evals > 0 && stats.commits > 0 && stats.edges >= stats.steps);
+  /* The appended counters arrive through the same negotiated copy: a
+   * declared-state design skips most modules on most edges. */
+  CHECK(stats.seq_touches > 0);
+  CHECK(stats.seq_skips > 0);
+
+  hwpat_sim_destroy(sim);
+}
+
+static void test_telemetry(void) {
+  hwpat_sim* sim = NULL;
+  CHECK(hwpat_sim_create("saa2vga_pattern",
+                         "width=16,height=12,depth=64,device=fifo", NULL,
+                         &sim) == HWPAT_OK);
+  if (sim == NULL) return;
+
+  /* The report is an error while no tracer is attached. */
+  const char* report = NULL;
+  CHECK(hwpat_sim_trace_report(sim, 5, &report) == HWPAT_ERR_ERROR);
+  CHECK(strstr(hwpat_last_error(), "trace_start") != NULL);
+
+  hwpat_trace_options topt;
+  hwpat_trace_options_init(&topt);
+  CHECK(topt.struct_size == sizeof(hwpat_trace_options));
+  topt.profile_modules = 1;
+  CHECK(hwpat_sim_trace_start(sim, &topt) == HWPAT_OK);
+  CHECK(hwpat_sim_step(sim, 200) == HWPAT_OK);
+
+  /* Stats are deterministic with the tracer attached: a fresh untraced
+   * run of the same design yields byte-identical counters. */
+  hwpat_sim_stats traced;
+  memset(&traced, 0, sizeof traced);
+  traced.struct_size = sizeof traced;
+  CHECK(hwpat_sim_stats_get(sim, &traced) == HWPAT_OK);
+  {
+    hwpat_sim* plain = NULL;
+    CHECK(hwpat_sim_create("saa2vga_pattern",
+                           "width=16,height=12,depth=64,device=fifo", NULL,
+                           &plain) == HWPAT_OK);
+    if (plain != NULL) {
+      hwpat_sim_stats want;
+      memset(&want, 0, sizeof want);
+      want.struct_size = sizeof want;
+      CHECK(hwpat_sim_step(plain, 200) == HWPAT_OK);
+      CHECK(hwpat_sim_stats_get(plain, &want) == HWPAT_OK);
+      CHECK(memcmp(&want, &traced, sizeof want) == 0);
+      hwpat_sim_destroy(plain);
+    }
+  }
+
+  CHECK(hwpat_sim_trace_report(sim, 5, &report) == HWPAT_OK);
+  CHECK(report != NULL && report[0] != '\0');
+
+  const char* path = "test_c_api.trace.json";
+  CHECK(hwpat_sim_trace_write(sim, path) == HWPAT_OK);
+  {
+    FILE* f = fopen(path, "r");
+    char head[16] = {0};
+    CHECK(f != NULL);
+    if (f != NULL) {
+      CHECK(fread(head, 1, 1, f) == 1 && head[0] == '{');
+      fclose(f);
+    }
+    remove(path);
+  }
+
+  CHECK(hwpat_sim_trace_stop(sim) == HWPAT_OK);
+  CHECK(hwpat_sim_trace_write(sim, path) == HWPAT_ERR_ERROR);
 
   hwpat_sim_destroy(sim);
 }
@@ -250,6 +317,7 @@ static void test_sweep(void) {
 int main(void) {
   test_abi_and_errors();
   test_flagship_run();
+  test_telemetry();
   test_snapshot_roundtrip();
   test_run_outcomes();
   test_sweep();

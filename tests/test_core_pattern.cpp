@@ -119,11 +119,12 @@ TEST(Pattern, CopyIsThroughputOnePerCycleWhenStreaming) {
   Simulator sim(tb);
   sim.reset();
   tb.ctl.start.write(true);
-  const auto n = sim.run_until(
+  const rtl::RunStatus st = sim.run(
       [&] { return tb.drainer.got().size() == data.size(); }, 5000);
+  ASSERT_TRUE(st.ok()) << sim.progress_report();
   // Feeding, copying and draining pipeline: total should be close to
   // N + small constant latency.
-  EXPECT_LE(n, data.size() + 10);
+  EXPECT_LE(st.steps, data.size() + 10);
 }
 
 TEST(Pattern, TransformAppliesTheOperation) {

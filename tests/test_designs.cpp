@@ -20,7 +20,8 @@ constexpr std::uint64_t kMaxCycles = 2'000'000;
 std::vector<video::Frame> run_design(VideoDesign& d) {
   Simulator sim(d);
   sim.reset();
-  sim.run_until([&] { return d.finished(); }, kMaxCycles);
+  EXPECT_TRUE(sim.run([&] { return d.finished(); }, kMaxCycles).ok())
+      << sim.progress_report();
   return d.sink().frames();
 }
 
@@ -134,7 +135,8 @@ TEST(SharedSram, ArbiterActuallyMultiplexes) {
   Saa2VgaPatternShared d(cfg);
   Simulator sim(d);
   sim.reset();
-  sim.run_until([&] { return d.finished(); }, kMaxCycles);
+  ASSERT_TRUE(sim.run([&] { return d.finished(); }, kMaxCycles).ok())
+      << sim.progress_report();
   const auto& g = d.arbiter().grant_counts();
   EXPECT_GT(g[0], 50u);  // rbuffer writes + fetches
   EXPECT_GT(g[1], 50u);  // wbuffer writes + fetches
@@ -149,8 +151,8 @@ TEST(SharedSram, SharingCostsThroughputButNoExtraMemory) {
   Simulator s2(*two), s1(*one);
   s2.reset();
   s1.reset();
-  s2.run_until([&] { return two->finished(); }, kMaxCycles);
-  s1.run_until([&] { return one->finished(); }, kMaxCycles);
+  ASSERT_TRUE(s2.run([&] { return two->finished(); }, kMaxCycles).ok());
+  ASSERT_TRUE(s1.run([&] { return one->finished(); }, kMaxCycles).ok());
   EXPECT_GT(s1.cycle(), s2.cycle());  // arbitration slows the pipe
   // Both stay BRAM-free (external memory either way).
   EXPECT_EQ(estimate::estimate(*one).bram, 0);

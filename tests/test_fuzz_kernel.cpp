@@ -668,7 +668,7 @@ TEST(FuzzKernel, SnapshotFaultRestoreReplaysByteIdentically) {
   // The mode must genuinely exercise the machinery: most seeds find a
   // quiet snapshot point, and the injected faults actually fire.
   EXPECT_GT(ran, skipped);
-  if (count >= 10) EXPECT_GT(fired, 0u);
+  if (count >= 10) { EXPECT_GT(fired, 0u); }
 }
 
 }  // namespace

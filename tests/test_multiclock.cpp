@@ -47,7 +47,7 @@ TEST(ClockDomainValidation, RejectsNegativePhase) {
 TEST(ClockDomainValidation, RejectsPhaseAtOrBeyondPeriod) {
   // phase k*period + r is the same edge train as phase r: insisting on
   // the canonical spelling keeps a phase readable as a sub-period
-  // offset (and run_until diagnostics unambiguous).
+  // offset (and progress_report() diagnostics unambiguous).
   EXPECT_THROW(ClockDomain("bad", 2, 2), Error);
   EXPECT_THROW(ClockDomain("bad", 3, 7), Error);
   ClockDomain ok("ok", 3, 2);  // largest legal phase
@@ -223,15 +223,15 @@ TEST(TickScheduler, SingleDomainDegeneratesToOneEdgePerStep) {
   EXPECT_EQ(sim.stats().domain_edges[0], 5u);
 }
 
-TEST(TickScheduler, RunUntilTimeoutReportsPerDomainEdges) {
+TEST(TickScheduler, RunTimeoutProgressReportsPerDomainEdges) {
   TwoDomainTop top;
   Simulator sim(top);
   sim.reset();
-  try {
-    sim.run_until([] { return false; }, 8);  // exactly to tick 12
-    FAIL() << "expected Error";
-  } catch (const Error& e) {
-    const std::string msg = e.what();
+  const rtl::RunStatus st =
+      sim.run([] { return false; }, 8);  // exactly to tick 12
+  EXPECT_EQ(st.result, rtl::RunResult::Timeout);
+  {
+    const std::string msg = sim.progress_report();
     EXPECT_NE(msg.find("a=6 (period 2)"), std::string::npos) << msg;
     EXPECT_NE(msg.find("b=4 (period 3)"), std::string::npos) << msg;
     EXPECT_NE(msg.find("cycle 8"), std::string::npos) << msg;
@@ -369,12 +369,14 @@ void expect_cdc_lossless(std::int64_t wr_period, std::int64_t rd_period) {
       Simulator sim(tb, {.full_sweep = full_sweep});
       sim.open_vcd(path);
       sim.reset();
-      sim.run_until(
-          [&] {
-            return tb.consumer.got.size() ==
-                   static_cast<std::size_t>(CdcTb::kCount);
-          },
-          kMaxCycles);
+      EXPECT_TRUE(sim.run(
+                         [&] {
+                           return tb.consumer.got.size() ==
+                                  static_cast<std::size_t>(CdcTb::kCount);
+                         },
+                         kMaxCycles)
+                      .ok())
+          << label << ": " << sim.progress_report();
       EXPECT_EQ(tb.fifo.size(), 0) << label;
       out.stats = sim.stats();
     }  // destroying the simulator flushes the VCD stream
@@ -478,7 +480,8 @@ void expect_dualclk_design(std::int64_t pix_period,
       Simulator sim(*d, {.full_sweep = full_sweep});
       sim.open_vcd(path);
       sim.reset();
-      sim.run_until([&] { return d->finished(); }, kMaxCycles);
+      EXPECT_TRUE(sim.run([&] { return d->finished(); }, kMaxCycles).ok())
+          << label << ": " << sim.progress_report();
       out.cycles = sim.cycle();
       out.stats = sim.stats();
     }  // destroying the simulator flushes the VCD stream
@@ -627,9 +630,11 @@ void expect_triclk_design(const designs::Saa2VgaTriClkConfig& cfg,
       sim.reset();
       // finished() flips on a pixel-clock edge (the vga collects the
       // last pixel strictly after the decoder and copy loop are done),
-      // so the domain-filtered run_until can skip the predicate on
+      // so the domain-filtered run() can skip the predicate on
       // cam/mem-only events.  Domain 0 is pix: the top inherits it.
-      sim.run_until([&] { return d->finished(); }, kMaxCycles, 0);
+      EXPECT_TRUE(
+          sim.run([&] { return d->finished(); }, kMaxCycles, 0).ok())
+          << sim.progress_report();
       out.cycles = sim.cycle();
       out.stats = sim.stats();
     }  // destroying the simulator flushes the VCD stream
@@ -706,23 +711,23 @@ TEST(TriClkDesign, FullyDeclaredThreeDomainsAndAffinity) {
     }
   });
   sim.reset();
-  sim.run_until([&] { return d->finished(); }, kMaxCycles);
+  ASSERT_TRUE(sim.run([&] { return d->finished(); }, kMaxCycles).ok())
+      << sim.progress_report();
   EXPECT_GT(sim.stats().seq_skips, 0u);
   EXPECT_GT(sim.stats().partition_skips, 0u);
 }
 
-TEST(TriClkDesign, RunUntilTimeoutReportsAllThreeDomainsWithPhases) {
+TEST(TriClkDesign, RunTimeoutProgressReportsAllThreeDomainsWithPhases) {
   auto d = designs::make_saa2vga_triclk(
       {.width = 8, .height = 6, .cdc_depth = 8, .frames = 1,
        .cam_period = 5, .mem_period = 2, .pix_period = 3,
        .mem_phase = 1});
   Simulator sim(*d);
   sim.reset();
-  try {
-    sim.run_until([] { return false; }, 25);
-    FAIL() << "expected Error";
-  } catch (const Error& e) {
-    const std::string msg = e.what();
+  const rtl::RunStatus st = sim.run([] { return false; }, 25);
+  EXPECT_EQ(st.result, rtl::RunResult::Timeout);
+  {
+    const std::string msg = sim.progress_report();
     EXPECT_NE(msg.find("pix="), std::string::npos) << msg;
     EXPECT_NE(msg.find("cam="), std::string::npos) << msg;
     EXPECT_NE(msg.find("mem="), std::string::npos) << msg;
@@ -746,7 +751,8 @@ TEST(TriClkFarm, LanesAreLosslessAndShareThreeDomains) {
   // partitions, each carrying three lanes' worth of modules.
   ASSERT_EQ(sim.domain_count(), 3u);
   sim.reset();
-  sim.run_until([&] { return d.finished(); }, kMaxCycles, 0);
+  ASSERT_TRUE(sim.run([&] { return d.finished(); }, kMaxCycles, 0).ok())
+      << sim.progress_report();
   // Every lane is lossless and carries its own pattern (seed + lane):
   // a crossed wire between lanes would show up as the wrong content.
   for (int i = 0; i < cfg.lanes; ++i) {
@@ -777,7 +783,9 @@ TEST(TriClkFarm, ParallelSettleIsThreadCountInvariant) {
       Simulator sim(d, {.threads = threads});
       sim.open_vcd(path);
       sim.reset();
-      sim.run_until([&] { return d.finished(); }, kMaxCycles, 0);
+      EXPECT_TRUE(
+          sim.run([&] { return d.finished(); }, kMaxCycles, 0).ok())
+          << sim.progress_report();
       out.cycles = sim.cycle();
       out.stats = sim.stats();
     }
@@ -875,7 +883,8 @@ TEST(DualClkDesign, FullyDeclaredAndTwoDomains) {
   EXPECT_EQ(sim.domain_info(0).name, "pix");
   EXPECT_EQ(sim.domain_info(1).name, "mem");
   sim.reset();
-  sim.run_until([&] { return d->finished(); }, kMaxCycles);
+  ASSERT_TRUE(sim.run([&] { return d->finished(); }, kMaxCycles).ok())
+      << sim.progress_report();
   EXPECT_GT(sim.stats().seq_skips, 0u);
 }
 

@@ -40,7 +40,8 @@ TEST_P(BlurGeometry, MatchesReferenceAtEveryShape) {
   auto d = designs::make_blur_pattern(cfg);
   Simulator sim(*d);
   sim.reset();
-  sim.run_until([&] { return d->finished(); }, 5'000'000);
+  ASSERT_TRUE(sim.run([&] { return d->finished(); }, 5'000'000).ok())
+      << sim.progress_report();
   const auto in = designs::camera_frames(w, h, 1, 77);
   ASSERT_EQ(d->sink().frames().size(), 1u);
   EXPECT_EQ(d->sink().frames().front(), video::blur_reference(in.front()))
@@ -112,7 +113,8 @@ TEST_P(Saa2VgaGeometry, IdentityAtEveryShape) {
   auto d = designs::make_saa2vga_pattern(cfg);
   Simulator sim(*d);
   sim.reset();
-  sim.run_until([&] { return d->finished(); }, 5'000'000);
+  ASSERT_TRUE(sim.run([&] { return d->finished(); }, 5'000'000).ok())
+      << sim.progress_report();
   const auto in = designs::camera_frames(w, h, 1, cfg.pattern_seed);
   ASSERT_EQ(d->sink().frames().size(), 1u);
   EXPECT_EQ(d->sink().frames().front(), in.front());
@@ -497,7 +499,8 @@ TEST(Waveform, FullDesignDumpsVcd) {
     Simulator sim(*d);
     sim.open_vcd(path);
     sim.reset();
-    sim.run_until([&] { return d->finished(); }, 100000);
+    ASSERT_TRUE(sim.run([&] { return d->finished(); }, 100000).ok())
+        << sim.progress_report();
   }  // destroying the simulator flushes and closes the VCD stream
   std::ifstream in(path);
   ASSERT_TRUE(in.good());

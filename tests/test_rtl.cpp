@@ -162,20 +162,26 @@ TEST(Simulator, ResetRestoresState) {
   EXPECT_EQ(sim.cycle(), 0u);
 }
 
-TEST(Simulator, RunUntilStopsOnCondition) {
+TEST(Simulator, RunStopsOnCondition) {
   Counter top(nullptr, "cnt", 8, 255);
   Simulator sim(top);
   sim.reset();
-  const auto n =
-      sim.run_until([&] { return top.value.read() == 17; }, 1000);
-  EXPECT_EQ(n, 17u);
+  const RunStatus st =
+      sim.run([&] { return top.value.read() == 17; }, 1000);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.steps, 17u);
 }
 
-TEST(Simulator, RunUntilThrowsOnTimeout) {
+TEST(Simulator, RunReportsTimeoutAsValue) {
   Counter top(nullptr, "cnt", 8, 255);
   Simulator sim(top);
   sim.reset();
-  EXPECT_THROW(sim.run_until([] { return false; }, 10), Error);
+  const RunStatus st = sim.run([] { return false; }, 10);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.result, RunResult::Timeout);
+  EXPECT_EQ(st.steps, 10u);
+  // The diagnostic string names the stall point.
+  EXPECT_NE(sim.progress_report().find("cycle 10"), std::string::npos);
 }
 
 TEST(Vcd, ProducesHeaderAndChanges) {

@@ -45,7 +45,8 @@ RunResult run_design(VideoDesign& d, bool full_sweep,
   Simulator sim(d, {.full_sweep = full_sweep});
   sim.open_vcd(vcd_path);
   sim.reset();
-  sim.run_until([&] { return d.finished(); }, kMaxCycles);
+  EXPECT_TRUE(sim.run([&] { return d.finished(); }, kMaxCycles).ok())
+      << sim.progress_report();
   RunResult r;
   r.cycles = sim.cycle();
   r.frames = d.sink().frames();
@@ -175,28 +176,29 @@ class Counter : public rtl::Module {
   rtl::Bit at_max;
 };
 
-TEST(SimKernelDiff, RunUntilSucceedsExactlyAtMaxCycles) {
+TEST(SimKernelDiff, RunSucceedsExactlyAtMaxCycles) {
   Counter top(nullptr, "cnt", 8, 255);
   Simulator sim(top);
   sim.reset();
   // The condition becomes true on the 5th edge and max_cycles is 5:
   // that is a success, not a timeout.
-  EXPECT_EQ(sim.run_until([&] { return top.value.read() == 5; }, 5), 5u);
+  const rtl::RunStatus st =
+      sim.run([&] { return top.value.read() == 5; }, 5);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.steps, 5u);
 }
 
-TEST(SimKernelDiff, RunUntilTimeoutMentionsCycle) {
+TEST(SimKernelDiff, RunTimeoutProgressReportMentionsCycle) {
   Counter top(nullptr, "cnt", 8, 255);
   Simulator sim(top);
   sim.reset();
   sim.step(3);
-  try {
-    sim.run_until([] { return false; }, 7);
-    FAIL() << "expected Error";
-  } catch (const Error& e) {
-    // 3 pre-steps + 7 budget = timeout reported at cycle 10.
-    EXPECT_NE(std::string(e.what()).find("cycle 10"), std::string::npos)
-        << e.what();
-  }
+  const rtl::RunStatus st = sim.run([] { return false; }, 7);
+  EXPECT_EQ(st.result, rtl::RunResult::Timeout);
+  EXPECT_EQ(st.steps, 7u);
+  // 3 pre-steps + 7 budget = the stall is reported at cycle 10.
+  EXPECT_NE(sim.progress_report().find("cycle 10"), std::string::npos)
+      << sim.progress_report();
 }
 
 TEST(SimKernelDiff, TestbenchWritesPropagateWithoutClock) {
@@ -643,7 +645,8 @@ TEST(SeqStateProtocol, DesignsAreFullyDeclared) {
           << "' has no sequential-state declaration";
     });
     sim.reset();
-    sim.run_until([&] { return d->finished(); }, kMaxCycles);
+    EXPECT_TRUE(sim.run([&] { return d->finished(); }, kMaxCycles).ok())
+        << label << ": " << sim.progress_report();
     EXPECT_GT(sim.stats().seq_skips, 0u) << label;
   }
 }

@@ -4,8 +4,8 @@
 //
 //   * Simulator::run() reports Timeout/FaultLatched as *values* and
 //     absorbs transactionally aborted injected faults (the retried
-//     step continues bit-identically); the deprecated run_until() shim
-//     still throws.
+//     step continues bit-identically); the old throwing shim is
+//     gone — progress_report() carries the diagnostic instead.
 //   * Simulator::Options is validated at elaboration with messages
 //     naming the offending field.
 //   * SweepDriver::run(): per-variant results (counters AND VCD bytes)
@@ -78,12 +78,13 @@ TEST(RunResult, PredSatisfiedReportsStepsConsumed) {
   EXPECT_EQ(st.steps, 10u);
 }
 
-TEST(RunResult, DeprecatedRunUntilShimStillThrowsOnTimeout) {
+TEST(RunResult, ProgressReportNamesTheStallPoint) {
   TickCounter top;
   Simulator sim(top);
   sim.reset();
-  EXPECT_EQ(sim.run_until([&] { return top.out.read() == 4; }, 100), 4u);
-  EXPECT_THROW((void)sim.run_until([] { return false; }, 5), Error);
+  const RunStatus st = sim.run([] { return false; }, 5);
+  EXPECT_EQ(st.result, RunResult::Timeout);
+  EXPECT_THAT(sim.progress_report(), HasSubstr("cycle 5"));
 }
 
 TEST(RunResult, TransactionalFaultIsAbsorbedBitIdentically) {
@@ -110,12 +111,11 @@ TEST(RunResult, TransactionalFaultIsAbsorbedBitIdentically) {
   EXPECT_TRUE(sim.fault_fired());
   EXPECT_FALSE(sim.needs_recovery());
   EXPECT_EQ(top.out.read(), want);
-  // The shim lets the same fault escape unretried.
+  // step() without run()'s retry wrapper lets the same fault escape.
   TickCounter top2;
   Simulator sim2(top2, opt);
   sim2.reset();
-  EXPECT_THROW((void)sim2.run_until([] { return false; }, 40),
-               rtl::FaultInjected);
+  EXPECT_THROW(sim2.step(40), rtl::FaultInjected);
 }
 
 TEST(RunResult, LatchedFaultSurfacesAsFaultLatched) {
