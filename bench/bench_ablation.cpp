@@ -208,7 +208,7 @@ void ablate_arbitration() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace = benchutil::take_trace_flag(argc, argv);
+  const std::string trace = benchutil::take_trace_flag_or_exit(argc, argv);
   ablate_dissolution();
   ablate_deadops();
   ablate_arbitration();

@@ -114,7 +114,7 @@ Point measure(core::ContainerKind kind, devices::DeviceKind dev,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace = benchutil::take_trace_flag(argc, argv);
+  const std::string trace = benchutil::take_trace_flag_or_exit(argc, argv);
   std::printf("§3.4 design-space characterisation: container x device x "
               "depth\n(access latency measured cycle-accurately, area "
               "from the synthesis estimator)\n\n");

@@ -47,7 +47,7 @@ RunResult run(VideoDesign& d, const std::vector<video::Frame>& expect) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace = benchutil::take_trace_flag(argc, argv);
+  const std::string trace = benchutil::take_trace_flag_or_exit(argc, argv);
   constexpr int kW = 64, kH = 48, kFrames = 3;
   std::printf("Fig. 1/3 pipeline: decoder -> rbuffer =it=> copy =it=> "
               "wbuffer -> vga  (%dx%d, %d frames)\n\n",

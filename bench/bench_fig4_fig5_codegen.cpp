@@ -25,7 +25,7 @@ void emit(const hdl::DesignUnit& u, const std::string& header) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  const std::string trace = hwpat::benchutil::take_trace_flag_or_exit(argc, argv);
   // Pure code generation — nothing simulates; --trace still yields a
   // loadable file.
   if (!trace.empty() && hwpat::benchutil::write_empty_trace(trace) != 0)

@@ -108,7 +108,7 @@ BENCHMARK(BM_SimulatorKernel);
 // flagship pattern design once with a profiling tracer and writes
 // Chrome-trace JSON, after the measured benchmarks finish.
 int main(int argc, char** argv) {
-  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  const std::string trace = hwpat::benchutil::take_trace_flag_or_exit(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

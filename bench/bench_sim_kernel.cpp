@@ -142,7 +142,71 @@ void BM_SnapshotRestore(benchmark::State& state,
       benchmark::Counter(static_cast<double>(blob.size_bytes()));
 }
 
+// ------------------------------------------------------- elaborate
+// Cost of binding a Simulator to an already-constructed module tree
+// (domain resolution, SoA/CSR allocation out of the per-simulator
+// arena) and of tearing it down again (unbind + one arena free per
+// chunk).  One iteration is one bind or one unbind; the arena_*
+// counters chart the elaborated graph's memory footprint.
+
+void BM_Elaborate(benchmark::State& state,
+                  std::unique_ptr<designs::VideoDesign> (*make)()) {
+  auto d = make();
+  rtl::Simulator::MemoryStats ms{};
+  for (auto _ : state) {
+    auto sim = std::make_unique<rtl::Simulator>(*d);
+    benchmark::DoNotOptimize(sim.get());
+    ms = sim->memory_stats();
+    state.PauseTiming();
+    sim.reset();
+    state.ResumeTiming();
+  }
+  state.counters["arena_bytes_used"] =
+      benchmark::Counter(static_cast<double>(ms.arena_bytes_used));
+  state.counters["arena_bytes_reserved"] =
+      benchmark::Counter(static_cast<double>(ms.arena_bytes_reserved));
+  state.counters["arena_chunks"] =
+      benchmark::Counter(static_cast<double>(ms.arena_chunks));
+}
+
+void BM_Teardown(benchmark::State& state,
+                 std::unique_ptr<designs::VideoDesign> (*make)()) {
+  auto d = make();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sim = std::make_unique<rtl::Simulator>(*d);
+    state.ResumeTiming();
+    sim.reset();  // timed: unbind + arena release
+  }
+}
+
+// Tri-clock capture-farm throughput (three domains, async-FIFO CDC):
+// the multi-partition workload for the before/after kernel-layout
+// comparison, alongside the single-clock flagship above.
+template <bool FullSweep>
+void BM_TriclkFarm(benchmark::State& state) {
+  std::uint64_t cycles = 0;
+  rtl::Simulator::Stats stats;
+  for (auto _ : state) {
+    auto d = make_farm();
+    run_once(*d, FullSweep, state, &cycles, &stats);
+  }
+  report(state, cycles, stats);
+}
+
 }  // namespace
+
+BENCHMARK_CAPTURE(BM_Elaborate, flagship, &make_flagship)
+    ->Name("elaborate/saa2vga_pattern_48x32");
+BENCHMARK_CAPTURE(BM_Teardown, flagship, &make_flagship)
+    ->Name("teardown/saa2vga_pattern_48x32");
+BENCHMARK_CAPTURE(BM_Elaborate, farm, &make_farm)
+    ->Name("elaborate/saa2vga_triclk_farm3");
+BENCHMARK_CAPTURE(BM_Teardown, farm, &make_farm)
+    ->Name("teardown/saa2vga_triclk_farm3");
+
+BENCHMARK(BM_TriclkFarm<false>)->Name("saa2vga_triclk_farm3/event");
+BENCHMARK(BM_TriclkFarm<true>)->Name("saa2vga_triclk_farm3/full_sweep");
 
 BENCHMARK_CAPTURE(BM_SnapshotSave, flagship, &make_flagship)
     ->Name("snapshot/save/saa2vga_pattern_48x32");
@@ -176,7 +240,7 @@ BENCHMARK(BM_BlurPattern<true>)
 // the args) runs the flagship design once with a profiling tracer and
 // writes Chrome-trace JSON, after the measured benchmarks finish.
 int main(int argc, char** argv) {
-  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  const std::string trace = hwpat::benchutil::take_trace_flag_or_exit(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -456,7 +456,7 @@ int check(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  g_trace = hwpat::benchutil::take_trace_flag_or_exit(argc, argv);
   std::string mode = "--print";
   std::string path = "bench/baselines.json";
   bool mode_set = false, path_set = false;

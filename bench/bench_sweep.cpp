@@ -91,7 +91,7 @@ void json_results(std::ofstream& out, const std::vector<SweepResult>& rs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  const std::string trace = hwpat::benchutil::take_trace_flag_or_exit(argc, argv);
   int workers = 2;
   int frames = 2;
   std::string out_path = "BENCH_sweep.json";

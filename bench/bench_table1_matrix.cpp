@@ -9,7 +9,7 @@
 #include "core/ops.hpp"
 
 int main(int argc, char** argv) {
-  const std::string trace = hwpat::benchutil::take_trace_flag(argc, argv);
+  const std::string trace = hwpat::benchutil::take_trace_flag_or_exit(argc, argv);
   // Nothing is simulated here; --trace still yields a loadable file.
   if (!trace.empty() && hwpat::benchutil::write_empty_trace(trace) != 0)
     return 1;

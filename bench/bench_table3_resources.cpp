@@ -48,7 +48,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   using namespace hwpat;
-  const std::string trace = benchutil::take_trace_flag(argc, argv);
+  const std::string trace = benchutil::take_trace_flag_or_exit(argc, argv);
   // Synthesis estimation only — nothing simulates; --trace still
   // yields a loadable file.
   if (!trace.empty() && benchutil::write_empty_trace(trace) != 0) return 1;

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdint>
+#include <cstdlib>
 #include <exception>
 #include <string>
 
@@ -19,21 +20,50 @@ namespace hwpat::benchutil {
 /// Strips `--trace FILE` / `--trace=FILE` out of argv (so the
 /// remaining flags can go to google-benchmark or the bench's own
 /// parser) and returns the file path, "" when the flag is absent.
+/// Malformed forms fail loudly (hwpat::Error): a trailing `--trace`
+/// with no value used to fall through to the downstream parser's
+/// unknown-flag handling, and `--trace=` silently disabled tracing —
+/// both looked like a successful un-traced run.  A repeated flag is
+/// legal; the last occurrence wins (standard CLI convention).
 inline std::string take_trace_flag(int& argc, char** argv) {
   std::string path;
   int w = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--trace" && i + 1 < argc) {
+    if (a == "--trace") {
+      if (i + 1 >= argc)
+        throw Error(
+            "--trace requires a file path argument (use `--trace FILE` "
+            "or `--trace=FILE`)");
       path = argv[++i];
+      if (path.empty())
+        throw Error("--trace: the trace file path must not be empty");
     } else if (a.rfind("--trace=", 0) == 0) {
       path = a.substr(8);
+      if (path.empty())
+        throw Error(
+            "--trace=: the trace file path must not be empty (use "
+            "`--trace=FILE`, or drop the flag to disable tracing)");
     } else {
       argv[w++] = argv[i];
     }
   }
   argc = w;
   return path;
+}
+
+/// main() adapter around take_trace_flag(): a malformed --trace prints
+/// the parse error and exits with code 2 (flag misuse, distinct from
+/// the benches' code-1 runtime failures) instead of unwinding through
+/// google-benchmark's initialization.
+inline std::string take_trace_flag_or_exit(int& argc, char** argv) {
+  try {
+    return take_trace_flag(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argc > 0 ? argv[0] : "bench",
+                 e.what());
+    std::exit(2);
+  }
 }
 
 /// One traced reference run: profiling tracer on, reset, `steps`

@@ -96,7 +96,7 @@ struct PipeTb : rtl::Module {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace = benchutil::take_trace_flag(argc, argv);
+  const std::string trace = benchutil::take_trace_flag_or_exit(argc, argv);
   std::printf("§3.3 width adaptation sweep: element width over device "
               "bus width\n\n");
   TextTable t;

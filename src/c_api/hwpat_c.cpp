@@ -410,6 +410,28 @@ hwpat_status hwpat_sim_stats_get(const hwpat_sim* sim,
   });
 }
 
+void hwpat_sim_memory_stats_init(hwpat_sim_memory_stats* out) {
+  if (out == nullptr) return;
+  *out = hwpat_sim_memory_stats{};
+  out->struct_size = sizeof(hwpat_sim_memory_stats);
+}
+
+hwpat_status hwpat_sim_memory_stats_get(const hwpat_sim* sim,
+                                        hwpat_sim_memory_stats* out) {
+  if (sim == nullptr || out == nullptr || out->struct_size == 0)
+    return bad_arg(
+        "hwpat_sim_memory_stats_get: NULL argument or zero struct_size");
+  return guarded([&] {
+    const Simulator::MemoryStats ms = sim->sim->memory_stats();
+    hwpat_sim_memory_stats full{};
+    full.struct_size = sizeof(hwpat_sim_memory_stats);
+    full.arena_bytes_used = ms.arena_bytes_used;
+    full.arena_bytes_reserved = ms.arena_bytes_reserved;
+    full.arena_chunks = ms.arena_chunks;
+    copy_out(out, full);
+  });
+}
+
 void hwpat_trace_options_init(hwpat_trace_options* opt) {
   if (opt == nullptr) return;
   const hwpat::rtl::Tracer::Options d;

@@ -147,6 +147,26 @@ typedef struct hwpat_sim_stats {
 /* Copies the deterministic work counters (struct_size-truncated). */
 hwpat_status hwpat_sim_stats_get(const hwpat_sim* sim, hwpat_sim_stats* out);
 
+typedef struct hwpat_sim_memory_stats {
+  size_t struct_size; /* set to sizeof(hwpat_sim_memory_stats) */
+  /* Footprint of the per-simulator arena that owns the elaborated
+   * graph (SoA signal state, CSR fanout pools, partition worklists,
+   * activation lists).  Deterministic for a given design + run, so
+   * embedders can budget and chart it; teardown pays one free per
+   * chunk regardless of design size. */
+  uint64_t arena_bytes_used;     /* bytes handed out to the graph */
+  uint64_t arena_bytes_reserved; /* bytes malloc'd in arena chunks */
+  uint64_t arena_chunks;         /* chunk count (frees at teardown) */
+} hwpat_sim_memory_stats;
+
+/* Initializes to defaults (sets struct_size). */
+void hwpat_sim_memory_stats_init(hwpat_sim_memory_stats* out);
+
+/* Copies the arena footprint counters (struct_size-truncated, same
+ * negotiation scheme as hwpat_sim_stats_get). */
+hwpat_status hwpat_sim_memory_stats_get(const hwpat_sim* sim,
+                                        hwpat_sim_memory_stats* out);
+
 /* ---- telemetry (wall-time tracing; mirrors rtl::Tracer) -----------
  *
  * Strictly separate from the stats above: stats are deterministic and

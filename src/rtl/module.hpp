@@ -190,18 +190,18 @@ class Module {
   bool clock_check_ = false;  ///< wants the on_clock_check() phase
 
   // --- state owned by the binding Simulator (see simulator.cpp) ---
+  // The dirty-worklist flag and partition routing that used to live
+  // here are now dense SoA arrays on the Simulator, indexed by sim_id_
+  // (src/rtl/README.md, "Kernel memory layout").
   int sim_id_ = -1;          ///< dense id in elaboration order, -1 = unbound
   std::int16_t part_ = -1;   ///< domain-affinity partition, -1 = unbound
-  bool comb_dirty_ = false;  ///< on the simulator's dirty-module worklist
+                             ///< (mirror of the simulator's dense array,
+                             ///< kept for partition() and topology hash)
   bool seq_declared_ = false;  ///< declare_state() made a declaration
   bool no_clock_ = false;      ///< declare_comb_only(): no on_clock()
   bool seq_touched_ = false;   ///< on the simulator's touched list
   std::vector<SignalBase*> seq_signals_;  ///< declared register signals
   std::vector<Module*>* seq_queue_ = nullptr;  ///< touched-module list
-  /// The partition's dirty worklist this module belongs to, resolved at
-  /// elaboration — the partition index fused into the dirty-marking
-  /// fast path (one pointer chase instead of an index + branch).
-  std::vector<Module*>* work_queue_ = nullptr;
 
   /// Probe for the elaboration-time comb-only check: the *default*
   /// on_clock()/on_clock_check() bodies set this flag; the simulator

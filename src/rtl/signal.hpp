@@ -6,12 +6,24 @@
 // never observes a value written in the same round, so evaluation order
 // of modules is irrelevant and simulation is deterministic.
 //
-// Event-driven hooks (see src/rtl/README.md): once a Simulator binds the
-// design, every write() enqueues the signal on the simulator's
-// pending-commit list, and every read() that happens inside a traced
-// eval_comb() is recorded so the simulator can learn which modules are
-// sensitive to which signals.  Unbound signals (no simulator, or the
-// full-sweep reference mode) behave exactly as before.
+// Data-oriented layout (see src/rtl/README.md, "Kernel memory layout"):
+// an unbound signal keeps its values in the object (curs_/nxts_), but a
+// binding Simulator *adopts* the storage of the dominant Word/bool
+// signals into dense SoA arrays it owns, indexed by slot — the signal's
+// curp_/nxtp_ pointers are rebound into those arrays, so read()/write()
+// are unchanged while the simulator's commit and VCD loops stream
+// through contiguous memory instead of chasing heap objects.  All other
+// per-signal kernel state (pending flag, partition, fanout CSR spans,
+// trace stamps) lives in simulator-owned arrays indexed by the dense
+// signal id; the signal itself carries only the two pointers the write
+// fast path needs (pend_flag_, queue_) plus the id.
+//
+// Event-driven hooks: once a Simulator binds the design, every write()
+// enqueues the signal's id on its partition's pending-commit list, and
+// every read() that happens inside a traced eval_comb() is recorded so
+// the simulator can learn which modules are sensitive to which signals.
+// Unbound signals (no simulator, or the full-sweep reference mode)
+// behave exactly as before.
 #pragma once
 
 #include <atomic>
@@ -22,6 +34,7 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "rtl/arena.hpp"
 #include "rtl/snapshot.hpp"
 
 namespace hwpat::rtl {
@@ -31,30 +44,38 @@ class SignalBase;
 
 /// Storage type tag of a signal, set once at construction.  The two
 /// dominant concrete types (Signal<Word> via Bus, Signal<bool> via Bit)
-/// get devirtualized fast paths in the commit hot loop; everything else
-/// (testbench Signal<Frame>, ...) falls back to the virtual call.
+/// get devirtualized fast paths in the commit hot loop — and their
+/// values are adopted into the Simulator's dense SoA arrays; everything
+/// else (testbench Signal<Frame>, ...) falls back to the virtual call
+/// and keeps its values inline.
 enum class SigKind : unsigned char { kWord, kBool, kOther };
 
 /// Records which signals a combinational process reads while it runs.
 /// The simulator points SignalBase::tracer_ at one of these around each
 /// traced eval_comb() call; read() funnels every signal through record().
-/// Deduplication within one trace is O(1) via a per-signal stamp.
+/// Deduplication within one trace is O(1) via a dense per-signal stamp
+/// array owned by the simulator (attach()).
 class ReadTracer {
  public:
+  /// Points the tracer at the binding simulator's dense stamp array
+  /// (indexed by signal id).  Must be called before the first begin().
+  void attach(std::uint64_t* stamps) { stamps_ = stamps; }
   /// Starts a new trace.  `stamp` must be unique per trace (the
   /// simulator uses a monotonically increasing eval counter).
   void begin(std::uint64_t stamp) {
     stamp_ = stamp;
     reads_.clear();
   }
-  inline void record(SignalBase* s);
-  [[nodiscard]] const std::vector<SignalBase*>& reads() const {
+  inline void record(const SignalBase* s);
+  /// Dense ids of the signals read by the traced evaluation.
+  [[nodiscard]] const std::vector<std::int32_t>& reads() const {
     return reads_;
   }
 
  private:
   std::uint64_t stamp_ = 0;
-  std::vector<SignalBase*> reads_;
+  std::uint64_t* stamps_ = nullptr;
+  std::vector<std::int32_t> reads_;
 };
 
 /// Untyped base for all signals.  Signals register themselves with their
@@ -79,13 +100,8 @@ class SignalBase {
   [[nodiscard]] Module& owner() const { return owner_; }
 
   /// Dense id assigned by the binding Simulator (elaboration order);
-  /// -1 while unbound.
+  /// -1 while unbound.  Indexes every simulator-owned SoA array.
   [[nodiscard]] int id() const { return id_; }
-  /// Modules whose eval_comb() has been observed to read this signal.
-  /// Grown lazily by the event-driven scheduler; empty while unbound.
-  [[nodiscard]] const std::vector<Module*>& fanout() const {
-    return fanout_;
-  }
 
   /// Domain-affinity partition assigned by the binding Simulator
   /// (indexed like Simulator::domain_info()): the writer's partition
@@ -124,7 +140,7 @@ class SignalBase {
   /// Non-virtual as_word() dispatcher: inlines the Word/bool reads (the
   /// two signal types that dominate every sampled waveform) and falls
   /// back to the virtual as_word() for everything else.  Defined after
-  /// Signal<T> below; the VCD sampling hot loop uses it.
+  /// Signal<T> below.
   [[nodiscard]] Word as_word_fast() const;
 
   /// True while a write awaits commit (next != current).  Cold path:
@@ -144,24 +160,26 @@ class SignalBase {
   void load_value_fast(StateReader& r);
 
  protected:
-  /// Called by Signal<T>::write(): schedules this signal for commit on
-  /// the writer's pending-commit list (at most once until drained).
-  /// The list is the signal's partition's pending list, resolved at
-  /// elaboration (queue_) — except inside a parallel-settle worker,
-  /// where a thread-local sink reroutes the write to the partition the
-  /// worker is draining, so concurrent workers never share a list.
+  /// Called by Signal<T>::write(): schedules this signal's id for
+  /// commit on the writer's pending-commit list (at most once until
+  /// drained; the pending flag lives in the simulator's dense array,
+  /// reached through pend_flag_).  The list is the signal's partition's
+  /// pending list, resolved at elaboration (queue_) — except inside a
+  /// parallel-settle worker, where a thread-local sink reroutes the
+  /// write to the partition the worker is draining, so concurrent
+  /// workers never share a list.
   void note_write() {
-    std::vector<SignalBase*>* q = write_sink_;
+    ArenaVector<std::int32_t>* q = write_sink_;
     if (q == nullptr) q = queue_;
-    if (q != nullptr && !pending_) {
-      pending_ = true;
-      q->push_back(this);
+    if (q != nullptr && pend_flag_ != nullptr && *pend_flag_ == 0) {
+      *pend_flag_ = 1;
+      q->push_back(id_);
     }
   }
   /// Called by Signal<T>::read(): reports the read to the active tracer,
   /// if any (i.e. inside a traced eval_comb()).
   void note_read() const {
-    if (tracer_ != nullptr) tracer_->record(const_cast<SignalBase*>(this));
+    if (tracer_ != nullptr) tracer_->record(this);
   }
 
  private:
@@ -177,21 +195,19 @@ class SignalBase {
   bool cdc_cross_ = false;  ///< declared CDC crossing point (mark_cdc_cross)
 
   // --- state owned by the binding Simulator (see simulator.cpp) ---
-  int id_ = -1;                            ///< dense id, -1 = unbound
-  std::int16_t part_ = -1;                 ///< domain-affinity partition
-                                           ///< (16 bits: fills padding,
-                                           ///< keeps hot fields' layout)
-  bool pending_ = false;                   ///< on the pending-commit list
-  bool vcd_mark_ = false;                  ///< on the changed-since-sample list
-  /// ReadTracer dedup marker.  Atomic (relaxed — a plain load/store on
-  /// the targeted ISAs) because parallel-settle workers in different
-  /// partitions may trace reads of the same CDC signal concurrently;
-  /// stamps are unique per trace across contexts, so a lost dedup at
-  /// worst records a duplicate read, which the fanout merge absorbs.
-  std::atomic<std::uint64_t> read_stamp_{0};
-  std::vector<SignalBase*>* queue_ = nullptr;  ///< pending-commit list
-  std::vector<Module*> fanout_;            ///< observed comb readers
-  Module* last_reader_ = nullptr;          ///< fanout-merge fast path
+  // Everything else the kernel tracks per signal — pending/vcd flags,
+  // trace stamps, fanout spans, value storage for Word/bool signals —
+  // lives in the Simulator's dense arrays, indexed by id_.
+  int id_ = -1;             ///< dense id, -1 = unbound
+  std::int16_t part_ = -1;  ///< domain-affinity partition (mirror of the
+                            ///< simulator's dense array, kept for the
+                            ///< partition() accessor and topology hash)
+  /// The signal's cell in the simulator's dense pending-flag array —
+  /// fused into the write fast path so note_write() touches the SoA
+  /// flag directly instead of an object field.  nullptr while unbound.
+  unsigned char* pend_flag_ = nullptr;
+  /// Pending-commit list of the signal's partition (ids).
+  ArenaVector<std::int32_t>* queue_ = nullptr;
 
   /// Active trace, if any.  thread_local so simulators over disjoint
   /// designs — and this simulator's parallel-settle workers — may run
@@ -201,14 +217,23 @@ class SignalBase {
   /// worker's evaluations: all writes made by the worker land here
   /// instead of queue_, keeping every pending list single-threaded.
   /// nullptr (the default everywhere else) selects queue_.
-  static inline thread_local std::vector<SignalBase*>* write_sink_ =
+  static inline thread_local ArenaVector<std::int32_t>* write_sink_ =
       nullptr;
 };
 
-inline void ReadTracer::record(SignalBase* s) {
-  if (s->read_stamp_.load(std::memory_order_relaxed) == stamp_) return;
-  s->read_stamp_.store(stamp_, std::memory_order_relaxed);
-  reads_.push_back(s);
+inline void ReadTracer::record(const SignalBase* s) {
+  const int id = s->id_;
+  if (id < 0) return;  // unbound signal read under a foreign trace
+  // The stamp cell is written through an atomic_ref (relaxed — a plain
+  // load/store on the targeted ISAs) because parallel-settle workers in
+  // different partitions may trace reads of the same CDC signal
+  // concurrently; stamps are unique per trace across contexts, so a
+  // lost dedup at worst records a duplicate read, which the fanout
+  // merge absorbs.
+  std::atomic_ref<std::uint64_t> cell(stamps_[static_cast<std::size_t>(id)]);
+  if (cell.load(std::memory_order_relaxed) == stamp_) return;
+  cell.store(stamp_, std::memory_order_relaxed);
+  reads_.push_back(id);
 }
 
 /// Kernel internal: installs a read tracer for the current scope and
@@ -225,6 +250,12 @@ class TraceGuard {
 /// Generic two-phase signal.  T must be equality-comparable and copyable.
 /// Use Bit/Bus for hardware-visible signals; Signal<T> with width 0 for
 /// testbench plumbing (frames, strings, ...).
+///
+/// Values are reached through curp_/nxtp_: normally they point at the
+/// inline curs_/nxts_ members, but a binding Simulator rebinds Word and
+/// bool signals into its dense SoA value arrays (adopt_storage), so the
+/// kernel's commit/VCD loops stream contiguous memory while read() and
+/// write() stay oblivious.
 template <typename T>
 class Signal : public SignalBase {
  public:
@@ -235,33 +266,33 @@ class Signal : public SignalBase {
 
   Signal(Module& owner, std::string name, int width, T init = T{})
       : SignalBase(owner, std::move(name), width, kKind),
-        cur_(init),
-        nxt_(init),
+        curs_(init),
+        nxts_(init),
         init_(init) {}
 
   /// Value visible to processes this round.
   [[nodiscard]] const T& read() const {
     note_read();
-    return cur_;
+    return *curp_;
   }
   /// Schedules `v` to become visible after the next commit.  Writes
   /// that leave the visible value unchanged need no commit, so they are
   /// not enqueued on the simulator's pending list (the common case: a
   /// comb process re-asserting the same output every delta).
   void write(const T& v) {
-    nxt_ = v;
-    if (!(nxt_ == cur_)) note_write();
+    *nxtp_ = v;
+    if (!(*nxtp_ == *curp_)) note_write();
   }
   /// Restores the construction-time value on both phases (reset).
-  void reset_value() override { cur_ = nxt_ = init_; }
+  void reset_value() override { *curp_ = *nxtp_ = init_; }
   /// Throws away an uncommitted write (aborted-event rollback).
-  void discard_write() final { nxt_ = cur_; }
+  void discard_write() final { *nxtp_ = *curp_; }
 
   /// Non-virtual body of commit(), callable directly when the concrete
   /// type is known statically (the commit_fast() dispatch).
   bool commit_inline() {
-    if (nxt_ == cur_) return false;
-    cur_ = nxt_;
+    if (*nxtp_ == *curp_) return false;
+    *curp_ = *nxtp_;
     return true;
   }
 
@@ -274,7 +305,7 @@ class Signal : public SignalBase {
   /// type is known statically (the as_word_fast() dispatch).
   [[nodiscard]] Word as_word_inline() const {
     if constexpr (std::is_convertible_v<T, Word>) {
-      return static_cast<Word>(cur_);
+      return static_cast<Word>(*curp_);
     } else {
       return 0;
     }
@@ -291,11 +322,11 @@ class Signal : public SignalBase {
   /// is rejected with the signal's path.
   void save_value_inline(StateWriter& w) const {
     if constexpr (std::is_same_v<T, Word>) {
-      w.word(cur_);
+      w.word(*curp_);
     } else if constexpr (std::is_same_v<T, bool>) {
-      w.boolean(cur_);
+      w.boolean(*curp_);
     } else if constexpr (std::is_trivially_copyable_v<T>) {
-      w.pod(cur_);
+      w.pod(*curp_);
     } else {
       throw Error("signal '" + full_name() +
                   "': value type is not trivially copyable — snapshot "
@@ -305,11 +336,11 @@ class Signal : public SignalBase {
   }
   void load_value_inline(StateReader& r) {
     if constexpr (std::is_same_v<T, Word>) {
-      cur_ = nxt_ = r.word();
+      *curp_ = *nxtp_ = r.word();
     } else if constexpr (std::is_same_v<T, bool>) {
-      cur_ = nxt_ = r.boolean();
+      *curp_ = *nxtp_ = r.boolean();
     } else if constexpr (std::is_trivially_copyable_v<T>) {
-      cur_ = nxt_ = r.pod<T>();
+      *curp_ = *nxtp_ = r.pod<T>();
     } else {
       throw Error("signal '" + full_name() +
                   "': value type is not trivially copyable — snapshot "
@@ -318,7 +349,7 @@ class Signal : public SignalBase {
   }
 
   [[nodiscard]] bool has_uncommitted_write() const final {
-    return !(nxt_ == cur_);
+    return !(*nxtp_ == *curp_);
   }
 
   // final for the same reason as commit() above.
@@ -326,9 +357,31 @@ class Signal : public SignalBase {
   void load_value(StateReader& r) final { load_value_inline(r); }
 
  private:
-  T cur_;
-  T nxt_;
-  T init_;
+  friend class Simulator;
+
+  /// Moves the two-phase values into simulator-owned dense cells (the
+  /// current inline values are copied over, so adoption is invisible).
+  void adopt_storage(T* cur, T* nxt) {
+    *cur = *curp_;
+    *nxt = *nxtp_;
+    curp_ = cur;
+    nxtp_ = nxt;
+  }
+  /// Returns the values to the inline members (unbind).  Tolerates a
+  /// partially bound signal (elaboration threw before adoption).
+  void release_storage() {
+    if (curp_ == &curs_) return;
+    curs_ = *curp_;
+    nxts_ = *nxtp_;
+    curp_ = &curs_;
+    nxtp_ = &nxts_;
+  }
+
+  T curs_;  ///< inline current value (authoritative while unbound)
+  T nxts_;  ///< inline next value
+  T init_;  ///< construction-time value, for reset_value()
+  T* curp_ = &curs_;
+  T* nxtp_ = &nxts_;
 };
 
 /// Single-bit hardware signal.

@@ -24,13 +24,18 @@ namespace hwpat::rtl {
 /// atomic counter, and the round's completion countdown is the only
 /// other shared word.
 struct Simulator::ParallelCtx {
+  explicit ParallelCtx(Simulator* sim)
+      : eval_list(ArenaAlloc<std::int32_t>(&sim->arena_)) {
+    tracer.attach(sim->sig_stamp_);
+  }
+
   ReadTracer tracer;
   std::size_t lane = 0;  ///< context index — the telemetry lane/tid
-  std::vector<Module*> eval_list;  ///< worklist swap target, per drain
+  ArenaVector<std::int32_t> eval_list;  ///< worklist swap target, per drain
   /// Fanout merges observed while tracing, deferred so workers never
-  /// mutate the shared fanout_/last_reader_ fields; the coordinating
+  /// mutate the shared CSR pools / last_reader_ array; the coordinating
   /// thread folds them in after the round's barrier.
-  std::vector<std::pair<SignalBase*, Module*>> merges;
+  std::vector<std::pair<std::int32_t, std::int32_t>> merges;
   std::uint64_t evals = 0;  ///< eval_comb() calls, folded after the round
   /// Trace stamps: tag | ++count is unique across contexts (the tag is
   /// the context index in the top byte) and disjoint from the
@@ -52,10 +57,11 @@ struct Simulator::ParallelSettle {
     // tags would wrap into the single-threaded stamp range and stale
     // read-stamp collisions could silently drop fanout edges.
     HWPAT_ASSERT(contexts >= 1 && contexts <= 255);
-    ctxs_.resize(static_cast<std::size_t>(contexts));
-    for (std::size_t i = 0; i < ctxs_.size(); ++i) {
-      ctxs_[i].lane = i;
-      ctxs_[i].stamp_tag = static_cast<std::uint64_t>(i + 1) << 56;
+    ctxs_.reserve(static_cast<std::size_t>(contexts));
+    for (int i = 0; i < contexts; ++i) {
+      ctxs_.emplace_back(sim);
+      ctxs_.back().lane = static_cast<std::size_t>(i);
+      ctxs_.back().stamp_tag = static_cast<std::uint64_t>(i + 1) << 56;
     }
     for (std::size_t i = 1; i < ctxs_.size(); ++i)
       workers_.emplace_back([this, i] { worker_main(i); });
@@ -162,8 +168,9 @@ void Simulator::drain_partition_parallel(std::size_t pi, ParallelCtx& c) {
   // land in the writer's list instead of racing the signal's own.
   SignalBase::write_sink_ = &p.pending;
   c.eval_list.swap(p.worklist);
-  for (Module* m : c.eval_list) {
-    m->comb_dirty_ = false;
+  for (const std::int32_t mid : c.eval_list) {
+    Module* m = modules_[static_cast<std::size_t>(mid)];
+    mod_dirty_[mid] = 0;
     ++c.evals;
     c.tracer.begin(c.stamp_tag | ++c.stamp_count);
     {
@@ -178,10 +185,10 @@ void Simulator::drain_partition_parallel(std::size_t pi, ParallelCtx& c) {
         throw;  // drain() records it; recovery requires reset(), as ever
       }
     }
-    // Defer the fanout merge: fanout_/last_reader_ are shared across
-    // partitions (CDC readers), so workers only *read* them here.
-    for (SignalBase* s : c.tracer.reads())
-      if (s->last_reader_ != m) c.merges.emplace_back(s, m);
+    // Defer the fanout merge: the CSR pools and last_reader_ are shared
+    // across partitions (CDC readers), so workers only *read* them here.
+    for (const std::int32_t sid : c.tracer.reads())
+      if (last_reader_[sid] != mid) c.merges.emplace_back(sid, mid);
   }
   c.eval_list.clear();
   SignalBase::write_sink_ = nullptr;
@@ -216,7 +223,14 @@ void Simulator::validate_options(const Options& opt) {
   }
 }
 
-Simulator::Simulator(Module& top, Options opt) : top_(top), opt_(opt) {
+Simulator::Simulator(Module& top, Options opt)
+    : top_(top),
+      opt_(opt),
+      fan_pool_(ArenaAlloc<std::int32_t>(&arena_)),
+      sens_pool_(ArenaAlloc<std::int32_t>(&arena_)),
+      seq_pool_(ArenaAlloc<std::int32_t>(&arena_)),
+      eval_list_(ArenaAlloc<std::int32_t>(&arena_)),
+      vcd_changed_(ArenaAlloc<std::int32_t>(&arena_)) {
   validate_options(opt_);
   fault_ = parse_fault_plan(opt_.fault_plan);
   top_.visit([this](Module& m) {
@@ -226,9 +240,9 @@ Simulator::Simulator(Module& top, Options opt) : top_(top), opt_(opt) {
   try {
     bind();
   } catch (...) {
-    // An elaboration failure (comb-only contract violation) must not
-    // leave the design half-bound: a corrected rebuild of the tree
-    // could otherwise never bind again.
+    // An elaboration failure (comb-only contract violation, partition
+    // overflow) must not leave the design half-bound: a corrected
+    // rebuild of the tree could otherwise never bind again.
     unbind();
     throw;
   }
@@ -262,7 +276,6 @@ void Simulator::bind() {
     Module* m = modules_[i];
     HWPAT_ASSERT(m->sim_id_ < 0 && "design already bound to a simulator");
     m->sim_id_ = static_cast<int>(i);
-    m->comb_dirty_ = false;
     m->seq_declared_ = false;
     m->no_clock_ = false;
     m->seq_touched_ = false;
@@ -272,44 +285,113 @@ void Simulator::bind() {
   }
   if (opt_.check_seq_contract) check_comb_only_contract();
   build_domains();
-  for (std::size_t i = 0; i < signals_.size(); ++i) {
-    SignalBase* s = signals_[i];
-    s->id_ = static_cast<int>(i);
-    s->pending_ = false;
-    s->vcd_mark_ = false;
-    s->read_stamp_ = 0;
-    s->fanout_.clear();
-    s->last_reader_ = nullptr;
-  }
+  build_soa();
   // Signal domain-affinity: the owner module's partition by default,
   // refined to the *writer's* partition for declared register signals
   // (the declaring module is the writer of its registers).  Resolved
   // here, at elaboration, like the module partitions themselves — and
   // fused into the signal's pending-commit routing: write() enqueues
   // straight onto the partition's own pending list.
-  for (SignalBase* s : signals_) s->part_ = s->owner().part_;
+  for (SignalBase* s : signals_) sig_part_[s->id_] = s->owner().part_;
   for (Module* m : modules_)
-    for (SignalBase* s : m->seq_signals_) s->part_ = m->part_;
-  for (SignalBase* s : signals_)
+    for (SignalBase* s : m->seq_signals_) sig_part_[s->id_] = m->part_;
+  for (SignalBase* s : signals_) {
+    s->part_ = sig_part_[s->id_];  // mirror for partition()/topology hash
     s->queue_ = opt_.full_sweep
                     ? nullptr
-                    : &parts_[static_cast<std::size_t>(s->part_)].pending;
+                    : &parts_[static_cast<std::size_t>(sig_part_[s->id_])]
+                           .pending;
+  }
+  // Register declarations as a CSR over signal ids — the membership
+  // scan check_seq_writes() runs per on_clock() write.
+  seq_pool_.clear();
+  for (std::size_t mi = 0; mi < modules_.size(); ++mi) {
+    seq_begin_[mi] = static_cast<std::uint32_t>(seq_pool_.size());
+    for (const SignalBase* s : modules_[mi]->seq_signals_)
+      seq_pool_.push_back(s->id_);
+    seq_count_[mi] =
+        static_cast<std::uint32_t>(seq_pool_.size()) - seq_begin_[mi];
+  }
   pend_mark_.assign(parts_.size(), 0);
   if (!opt_.full_sweep) {
     // Writes made before binding never reached the pending lists, and
     // no sensitivity is known yet: make the first settle a full one.
     for (SignalBase* s : signals_) {
-      s->pending_ = true;
-      s->queue_->push_back(s);
+      sig_pending_[s->id_] = 1;
+      s->queue_->push_back(s->id_);
     }
     mark_all_modules_dirty();
   }
 }
 
+void Simulator::build_soa() {
+  const std::size_t ns = signals_.size();
+  const std::size_t nm = modules_.size();
+  sig_kind_ = arena_.alloc_array<unsigned char>(ns);
+  sig_pending_ = arena_.alloc_array<unsigned char>(ns);
+  sig_vcdmark_ = arena_.alloc_array<unsigned char>(ns);
+  sig_part_ = arena_.alloc_array<std::int16_t>(ns);
+  sig_slot_ = arena_.alloc_array<std::uint32_t>(ns);
+  sig_stamp_ = arena_.alloc_array<std::uint64_t>(ns);
+  sig_mark_ = arena_.alloc_array<std::uint64_t>(ns);
+  last_reader_ = arena_.alloc_array<std::int32_t>(ns);
+  fan_begin_ = arena_.alloc_array<std::uint32_t>(ns);
+  fan_count_ = arena_.alloc_array<std::uint32_t>(ns);
+  fan_cap_ = arena_.alloc_array<std::uint32_t>(ns);
+  sens_begin_ = arena_.alloc_array<std::uint32_t>(nm);
+  sens_count_ = arena_.alloc_array<std::uint32_t>(nm);
+  sens_cap_ = arena_.alloc_array<std::uint32_t>(nm);
+  seq_begin_ = arena_.alloc_array<std::uint32_t>(nm);
+  seq_count_ = arena_.alloc_array<std::uint32_t>(nm);
+  mod_dirty_ = arena_.alloc_array<unsigned char>(nm);
+  mod_mark_ = arena_.alloc_array<std::uint64_t>(nm);
+  // Slot the dominant Word/bool signals into the dense two-phase value
+  // arrays, in id order — the commit drains then stream contiguously.
+  std::size_t nw = 0, nb = 0;
+  for (const SignalBase* s : signals_) {
+    if (s->kind() == SigKind::kWord) ++nw;
+    if (s->kind() == SigKind::kBool) ++nb;
+  }
+  word_cur_ = arena_.alloc_array<Word>(nw);
+  word_nxt_ = arena_.alloc_array<Word>(nw);
+  bool_cur_ = arena_.alloc_array<bool>(nb);
+  bool_nxt_ = arena_.alloc_array<bool>(nb);
+  std::uint32_t wslot = 0, bslot = 0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    SignalBase* s = signals_[i];
+    s->id_ = static_cast<int>(i);
+    sig_kind_[i] = static_cast<unsigned char>(s->kind());
+    last_reader_[i] = -1;
+    // 2 = never sampled (testbench signals): mark_vcd_change() skips
+    // them with the same one-byte test that skips already-listed ones.
+    sig_vcdmark_[i] = s->width() <= 0 ? 2 : 0;
+    s->pend_flag_ = &sig_pending_[i];
+    switch (s->kind()) {
+      case SigKind::kWord:
+        sig_slot_[i] = wslot;
+        static_cast<Signal<Word>*>(s)->adopt_storage(&word_cur_[wslot],
+                                                     &word_nxt_[wslot]);
+        ++wslot;
+        break;
+      case SigKind::kBool:
+        sig_slot_[i] = bslot;
+        static_cast<Signal<bool>*>(s)->adopt_storage(&bool_cur_[bslot],
+                                                     &bool_nxt_[bslot]);
+        ++bslot;
+        break;
+      case SigKind::kOther:
+        sig_slot_[i] = 0;  // values stay inline; virtual dispatch
+        break;
+    }
+  }
+  tracer_.attach(sig_stamp_);
+}
+
 std::size_t Simulator::sched_index_for(const ClockDomain* d) {
   for (std::size_t i = 0; i < scheds_.size(); ++i)
     if (scheds_[i].domain == d) return i;
-  DomainSched ds;
+  scheds_.emplace_back(&arena_);
+  DomainSched& ds = scheds_.back();
   ds.domain = d;
   if (d != nullptr) {
     ds.name = d->name();
@@ -317,12 +399,22 @@ std::size_t Simulator::sched_index_for(const ClockDomain* d) {
     ds.phase = d->phase();
   }
   ds.next_edge = ds.phase + ds.period;
-  scheds_.push_back(std::move(ds));
+  // The settle partition IS the domain, and partition ids are stored in
+  // std::int16_t (Module::part_, SignalBase::part_, the SoA mirrors):
+  // past 32768 domains the id would silently truncate and corrupt
+  // worklist routing, so reject the elaboration loudly instead.
+  if (scheds_.size() > 32768)
+    throw Error(
+        "design '" + top_.name() + "' resolves to more than 32768 clock "
+        "domains — the partition id fields (Module::part_ / "
+        "SignalBase::part_, std::int16_t) cannot address domain '" +
+        ds.name + "'; merge clock domains or widen the partition ids");
   return scheds_.size() - 1;
 }
 
 void Simulator::build_domains() {
   scheds_.clear();
+  mod_part_ = arena_.alloc_array<std::int16_t>(modules_.size());
   // modules_ is in elaboration (pre)order, so a parent's effective
   // domain is resolved before any of its children are visited.
   std::vector<const ClockDomain*> effective(modules_.size(), nullptr);
@@ -346,16 +438,14 @@ void Simulator::build_domains() {
         scheds_[di].opaque.push_back(m);
       if (m->has_clock_check()) scheds_[di].checkers.push_back(m);
     }
-    // The settle partition IS the domain: one dirty worklist per domain.
-    HWPAT_ASSERT(di <= INT16_MAX);
-    m->part_ = static_cast<std::int16_t>(di);
+    // One dirty worklist per domain; sched_index_for guarantees di fits
+    // the int16 partition id.
+    mod_part_[i] = static_cast<std::int16_t>(di);
+    m->part_ = mod_part_[i];  // mirror for partition()/topology hash
   }
-  parts_.assign(scheds_.size(), Partition{});
-  // Fuse each module's worklist into the module itself: the dirty-mark
-  // fast path chases one pointer instead of indexing parts_ (parts_ is
-  // never resized after this point, so the pointers stay valid).
-  for (Module* m : modules_)
-    m->work_queue_ = &parts_[static_cast<std::size_t>(m->part_)].worklist;
+  parts_.clear();
+  parts_.reserve(scheds_.size());
+  for (std::size_t i = 0; i < scheds_.size(); ++i) parts_.emplace_back(&arena_);
   dirty_parts_.clear();
   single_part_ = scheds_.size() == 1;
   build_edge_heap();
@@ -391,24 +481,44 @@ void Simulator::unbind() {
   for (Module* m : modules_) {
     m->sim_id_ = -1;
     m->part_ = -1;
-    m->comb_dirty_ = false;
     m->seq_declared_ = false;
     m->no_clock_ = false;
     m->seq_touched_ = false;
     m->seq_signals_.clear();
     m->seq_queue_ = nullptr;
-    m->work_queue_ = nullptr;
   }
   for (SignalBase* s : signals_) {
+    // Return adopted two-phase values to the inline members before the
+    // arena dies (release_storage tolerates a never-adopted signal, so
+    // a partial bind — elaboration threw mid-way — unwinds cleanly).
+    switch (s->kind()) {
+      case SigKind::kWord:
+        static_cast<Signal<Word>*>(s)->release_storage();
+        break;
+      case SigKind::kBool:
+        static_cast<Signal<bool>*>(s)->release_storage();
+        break;
+      case SigKind::kOther:
+        break;
+    }
     s->id_ = -1;
     s->part_ = -1;
-    s->pending_ = false;
-    s->vcd_mark_ = false;
-    s->read_stamp_ = 0;
-    s->fanout_.clear();
-    s->last_reader_ = nullptr;
+    s->pend_flag_ = nullptr;
     s->queue_ = nullptr;
   }
+  sig_kind_ = sig_pending_ = sig_vcdmark_ = nullptr;
+  sig_part_ = nullptr;
+  sig_slot_ = nullptr;
+  sig_stamp_ = sig_mark_ = nullptr;
+  last_reader_ = nullptr;
+  word_cur_ = word_nxt_ = nullptr;
+  bool_cur_ = bool_nxt_ = nullptr;
+  fan_begin_ = fan_count_ = fan_cap_ = nullptr;
+  sens_begin_ = sens_count_ = sens_cap_ = nullptr;
+  seq_begin_ = seq_count_ = nullptr;
+  mod_dirty_ = nullptr;
+  mod_part_ = nullptr;
+  mod_mark_ = nullptr;
 }
 
 void Simulator::check_comb_only_contract() {
@@ -488,6 +598,15 @@ void Simulator::reset_stats() {
 void Simulator::set_delta_limit(int limit) {
   HWPAT_ASSERT(limit > 0);
   opt_.delta_limit = limit;
+}
+
+std::size_t Simulator::fanout_size(const SignalBase& s) const {
+  const std::int32_t sid = s.id_;
+  if (sid < 0 || static_cast<std::size_t>(sid) >= signals_.size() ||
+      signals_[static_cast<std::size_t>(sid)] != &s)
+    throw Error("fanout_size: signal '" + s.name() +
+                "' is not part of this simulator's design");
+  return fan_count_[sid];
 }
 
 void Simulator::throw_comb_loop() const {
@@ -596,10 +715,11 @@ void Simulator::run_on_clock_profiled(Module* m) {
 
 void Simulator::commit_all(bool* changed) {
   bool any = false;
-  for (SignalBase* s : signals_) {
+  const std::int32_t n = static_cast<std::int32_t>(signals_.size());
+  for (std::int32_t sid = 0; sid < n; ++sid) {
     maybe_inject(FaultPoint::Commit);
     ++stats_.commits;
-    if (s->commit_fast()) {
+    if (commit_signal(sid)) {
       ++stats_.commit_changes;
       any = true;
       // No mark_vcd_change(): full-sweep sampling always scans all.
@@ -627,6 +747,80 @@ void Simulator::settle_full_sweep() {
 // Event-driven kernel
 // ---------------------------------------------------------------------
 
+void Simulator::fan_push(std::int32_t sid, std::int32_t mid) {
+  const std::uint32_t cnt = fan_count_[sid];
+  if (cnt == fan_cap_[sid]) {
+    // Relocate the span to the pool tail with doubled capacity.  The
+    // abandoned slots stay in the arena — bounded by the usual
+    // geometric-growth argument, and reclaimed wholesale at teardown.
+    const std::uint32_t ncap = cnt == 0 ? 4 : cnt * 2;
+    const std::uint32_t nb = static_cast<std::uint32_t>(fan_pool_.size());
+    fan_pool_.resize(fan_pool_.size() + ncap);
+    std::copy_n(fan_pool_.begin() + fan_begin_[sid], cnt,
+                fan_pool_.begin() + nb);
+    fan_begin_[sid] = nb;
+    fan_cap_[sid] = ncap;
+  }
+  fan_pool_[fan_begin_[sid] + cnt] = mid;
+  fan_count_[sid] = cnt + 1;
+}
+
+void Simulator::sens_push(std::int32_t mid, std::int32_t sid) {
+  const std::uint32_t cnt = sens_count_[mid];
+  if (cnt == sens_cap_[mid]) {
+    const std::uint32_t ncap = cnt == 0 ? 4 : cnt * 2;
+    const std::uint32_t nb = static_cast<std::uint32_t>(sens_pool_.size());
+    sens_pool_.resize(sens_pool_.size() + ncap);
+    std::copy_n(sens_pool_.begin() + sens_begin_[mid], cnt,
+                sens_pool_.begin() + nb);
+    sens_begin_[mid] = nb;
+    sens_cap_[mid] = ncap;
+  }
+  sens_pool_[sens_begin_[mid] + cnt] = sid;
+  sens_count_[mid] = cnt + 1;
+}
+
+void Simulator::merge_reads(std::int32_t mid,
+                            const std::vector<std::int32_t>& reads) {
+  // Fast path: every read signal was last merged by this very module —
+  // by far the common case once sensitivity stabilized (a module
+  // re-evaluating its own fanin over and over).
+  bool fresh = false;
+  for (const std::int32_t sid : reads)
+    if (last_reader_[sid] != mid) {
+      fresh = true;
+      break;
+    }
+  if (!fresh) return;
+  // Membership via seen-stamp: mark everything the module has ever read
+  // (its accumulated read-set span — the exact mirror of "mid is in
+  // fanout(sid)") under a fresh epoch, then one O(1) probe per read.
+  // Replaces the former per-read std::find over the fanout list, whose
+  // cost exploded exactly when distinct readers alternated.
+  const std::uint64_t e = ++mark_epoch_;
+  const std::uint32_t sb = sens_begin_[mid];
+  const std::uint32_t sc = sens_count_[mid];
+  for (std::uint32_t k = 0; k < sc; ++k) sig_mark_[sens_pool_[sb + k]] = e;
+  for (const std::int32_t sid : reads) {
+    if (last_reader_[sid] == mid) continue;
+    last_reader_[sid] = mid;
+    if (sig_mark_[sid] == e) continue;  // already a known (sid, mid) edge
+    sig_mark_[sid] = e;
+    sens_push(mid, sid);
+    fan_push(sid, mid);
+  }
+}
+
+void Simulator::merge_one(std::int32_t sid, std::int32_t mid) {
+  if (last_reader_[sid] == mid) return;
+  last_reader_[sid] = mid;
+  const std::int32_t* fb = fan_pool_.data() + fan_begin_[sid];
+  const std::int32_t* fe = fb + fan_count_[sid];
+  if (std::find(fb, fe, mid) != fe) return;
+  fan_push(sid, mid);
+  sens_push(mid, sid);
+}
+
 void Simulator::eval_traced(Module* m) {
   ++stats_.evals;
   tracer_.begin(++eval_stamp_);
@@ -637,17 +831,12 @@ void Simulator::eval_traced(Module* m) {
     else
       eval_profiled(m, 0);
   }
-  // Fold newly observed reads into the signals' fanout lists.  The
+  // Fold newly observed reads into the signals' fanout spans.  The
   // accumulated read set is monotone, so a module is re-evaluated
   // whenever any signal it has *ever* read changes — a superset of the
   // signals its current execution path depends on, hence sound even for
   // data-dependent reads.
-  for (SignalBase* s : tracer_.reads()) {
-    if (s->last_reader_ == m) continue;  // already merged on the last read
-    auto& fo = s->fanout_;
-    if (std::find(fo.begin(), fo.end(), m) == fo.end()) fo.push_back(m);
-    s->last_reader_ = m;
-  }
+  merge_reads(m->sim_id_, tracer_.reads());
 }
 
 void Simulator::drain_pending(Partition& part) {
@@ -655,14 +844,17 @@ void Simulator::drain_pending(Partition& part) {
   // Empty drains (every settled delta probes once) record no span.
   const bool span = telem_ != nullptr && !part.pending.empty();
   const std::uint64_t t0 = span ? telem_->now_ns() : 0;
-  for (SignalBase* s : part.pending) {
+  for (const std::int32_t sid : part.pending) {
     maybe_inject(FaultPoint::Commit);
-    s->pending_ = false;
+    sig_pending_[sid] = 0;
     ++stats_.commits;
-    if (!s->commit_fast()) continue;
+    if (!commit_signal(sid)) continue;
     ++stats_.commit_changes;
-    if (vcd_) mark_vcd_change(s);
-    for (Module* m : s->fanout_) mark_module_dirty(m);
+    if (vcd_) mark_vcd_change(sid);
+    const std::uint32_t fb = fan_begin_[sid];
+    const std::uint32_t fc = fan_count_[sid];
+    for (std::uint32_t k = 0; k < fc; ++k)
+      mark_module_dirty(fan_pool_[fb + k]);
   }
   part.pending.clear();
   if (span)
@@ -704,9 +896,9 @@ void Simulator::settle_event() {
       maybe_inject(FaultPoint::Settle);
       ++stats_.deltas;
       eval_list_.swap(p.worklist);
-      for (Module* m : eval_list_) {
-        m->comb_dirty_ = false;
-        eval_traced(m);
+      for (const std::int32_t mid : eval_list_) {
+        mod_dirty_[mid] = 0;
+        eval_traced(modules_[static_cast<std::size_t>(mid)]);
       }
       eval_list_.clear();
       drain_pending(p);
@@ -754,13 +946,7 @@ void Simulator::settle_event() {
         // Fold deferred fanout merges, single-threaded.  Content is a
         // set union, so fold order only perturbs fanout *list order*
         // (never the eval sets or counters downstream).
-        for (const auto& [s, m] : c.merges) {
-          if (s->last_reader_ == m) continue;
-          auto& fo = s->fanout_;
-          if (std::find(fo.begin(), fo.end(), m) == fo.end())
-            fo.push_back(m);
-          s->last_reader_ = m;
-        }
+        for (const auto& [sid, mid] : c.merges) merge_one(sid, mid);
         c.merges.clear();
         if (c.error && !err) err = c.error;
         c.error = nullptr;
@@ -773,9 +959,9 @@ void Simulator::settle_event() {
         Partition& p = parts_[pi];
         const std::uint64_t t0 = telem_ != nullptr ? telem_->now_ns() : 0;
         eval_list_.swap(p.worklist);
-        for (Module* m : eval_list_) {
-          m->comb_dirty_ = false;
-          eval_traced(m);
+        for (const std::int32_t mid : eval_list_) {
+          mod_dirty_[mid] = 0;
+          eval_traced(modules_[static_cast<std::size_t>(mid)]);
         }
         eval_list_.clear();
         if (telem_ != nullptr)
@@ -791,7 +977,8 @@ void Simulator::settle_event() {
 }
 
 void Simulator::mark_all_modules_dirty() {
-  for (Module* m : modules_) mark_module_dirty(m);
+  const std::int32_t n = static_cast<std::int32_t>(modules_.size());
+  for (std::int32_t mid = 0; mid < n; ++mid) mark_module_dirty(mid);
 }
 
 std::size_t Simulator::dirty_module_count() const {
@@ -806,16 +993,17 @@ void Simulator::record_pend_marks() {
     pend_mark_[pi] = parts_[pi].pending.size();
 }
 
-void Simulator::check_seq_writes_in(
-    const Module* m, const std::vector<SignalBase*>& pending,
-    std::size_t first) const {
+void Simulator::check_seq_writes_in(const Module* m,
+                                    const ArenaVector<std::int32_t>& pending,
+                                    std::size_t first) const {
+  const std::int32_t* sb = seq_pool_.data() + seq_begin_[m->sim_id_];
+  const std::int32_t* se = sb + seq_count_[m->sim_id_];
   for (std::size_t i = first; i < pending.size(); ++i) {
-    SignalBase* s = pending[i];
-    const auto& seq = m->seq_signals_;
-    if (std::find(seq.begin(), seq.end(), s) == seq.end())
+    const std::int32_t sid = pending[i];
+    if (std::find(sb, se, sid) == se)
       throw ProtocolError(
           "module '" + m->full_name() + "': on_clock() wrote signal '" +
-          s->full_name() +
+          signals_[static_cast<std::size_t>(sid)]->full_name() +
           "' which is not in its register_seq() declaration — the "
           "sequential-state contract is incomplete (or the write "
           "belongs in eval_comb())");
@@ -851,7 +1039,7 @@ void Simulator::fire_edges(bool check_contract) {
     } else if (single_part_) {
       // One partition: the pre-call pending mark is one register-held
       // size, exactly the pre-partition-split cost.
-      const std::vector<SignalBase*>& pending = parts_[0].pending;
+      const ArenaVector<std::int32_t>& pending = parts_[0].pending;
       for (Module* m : ds.active) {
         const std::size_t before = pending.size();
         run_on_clock(m);
@@ -891,9 +1079,9 @@ void Simulator::abort_edge_event() {
   // aborted event: un-pend and discard it, leaving the next settle
   // nothing to leak-commit.  Same for the seq_touch() reports.
   for (Partition& part : parts_) {
-    for (SignalBase* s : part.pending) {
-      s->pending_ = false;
-      s->discard_write();
+    for (const std::int32_t sid : part.pending) {
+      sig_pending_[sid] = 0;
+      discard_signal(sid);
     }
     part.pending.clear();
   }
@@ -918,13 +1106,13 @@ void Simulator::clock_edge_event() {
   stats_.seq_touches += touched_.size();
   for (Module* m : touched_) {
     m->seq_touched_ = false;
-    mark_module_dirty(m);
+    mark_module_dirty(m->sim_id_);
   }
   touched_.clear();
   // ...and undeclared modules conservatively re-evaluate after every
   // edge of their own domain.
   for (const std::size_t di : firing_)
-    for (Module* m : scheds_[di].opaque) mark_module_dirty(m);
+    for (Module* m : scheds_[di].opaque) mark_module_dirty(m->sim_id_);
   stats_.seq_skips += modules_.size() - dirty_module_count();
   needs_recovery_ = false;
 }
@@ -974,10 +1162,9 @@ void Simulator::reset() {
   active_parts_.clear();
   eval_list_.clear();
   touched_.clear();
-  for (SignalBase* s : signals_) {
-    s->pending_ = false;
-    s->reset_value();
-  }
+  std::fill_n(sig_pending_, signals_.size(),
+              static_cast<unsigned char>(0));
+  for (SignalBase* s : signals_) s->reset_value();
   {
     // Reset means *construction-time* state, unconditionally: reload
     // every module's elaboration-time payload before on_reset() applies
@@ -989,8 +1176,8 @@ void Simulator::reset() {
     StateReader r(baseline_);
     load_module_states(r);
   }
+  std::fill_n(mod_dirty_, modules_.size(), static_cast<unsigned char>(0));
   for (Module* m : modules_) {
-    m->comb_dirty_ = false;
     m->seq_touched_ = false;
     m->on_reset();
   }
@@ -1018,7 +1205,8 @@ void Simulator::fire_edges_full_sweep() {
     // landed straight in the signals' next values.  Right after a
     // settle every next == current, so discarding every write rolls
     // the event back to a no-op before the throw escapes.
-    for (SignalBase* s : signals_) s->discard_write();
+    const std::int32_t n = static_cast<std::int32_t>(signals_.size());
+    for (std::int32_t sid = 0; sid < n; ++sid) discard_signal(sid);
     throw;
   }
   // Same half-applied window as clock_edge_event(): the edge mutated
@@ -1107,21 +1295,15 @@ void Simulator::open_vcd(const std::string& path) {
   vcd_full_pending_ = true;
 }
 
-void Simulator::mark_vcd_change(SignalBase* s) {
-  if (s->width() <= 0 || s->vcd_mark_) return;
-  s->vcd_mark_ = true;
-  vcd_changed_.push_back(s);
-}
-
 void Simulator::sample_vcd() {
   if (!vcd_) return;
   if (opt_.full_sweep || vcd_full_pending_) {
     vcd_->sample(tick_);
     vcd_full_pending_ = false;
   } else {
-    vcd_->sample_changed(tick_, vcd_changed_);
+    vcd_->sample_changed(tick_, vcd_changed_.data(), vcd_changed_.size());
   }
-  for (SignalBase* s : vcd_changed_) s->vcd_mark_ = false;
+  for (const std::int32_t sid : vcd_changed_) sig_vcdmark_[sid] = 0;
   vcd_changed_.clear();
 }
 

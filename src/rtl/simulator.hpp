@@ -28,10 +28,10 @@
 // tests/test_sim_kernel.cpp and tests/test_multiclock.cpp prove it
 // differentially):
 //
-//  * event-driven (default): write() enqueues signals on the writer's
-//    *per-partition* pending-commit list; settle() drains per-domain
-//    dirty-module worklists seeded from the fanout of committed
-//    signals.  Both the worklists and the pending lists are
+//  * event-driven (default): write() enqueues signal ids on the
+//    writer's *per-partition* pending-commit list; settle() drains
+//    per-domain dirty-module worklists seeded from the fanout of
+//    committed signals.  Both the worklists and the pending lists are
 //    *partitioned by clock domain* (every module and signal carries a
 //    domain-affinity partition resolved at elaboration): a settle
 //    visits only the partitions reachable from the firing domains'
@@ -64,6 +64,23 @@
 //    differential testing and for testbenches that mutate module state
 //    behind the kernel's back between settles.
 //
+// Kernel memory layout (the data-oriented refactor; see
+// src/rtl/README.md): all hot per-signal and per-module kernel state —
+// committed/next values of Word and bool signals, pending/dirty flags,
+// SigKind tags, partition ids, trace stamps — lives in dense SoA arrays
+// owned by this class and indexed by the dense signal/module ids, so
+// the settle and commit loops stream contiguous memory instead of
+// chasing heap objects.  The learned fanout (signal -> reader modules)
+// and the accumulated per-module read sets are CSR-style spans
+// ([begin,count,cap) per id) into two shared pools, deduplicated with a
+// seen-stamp instead of a linear find.  Everything the elaboration
+// builds — the SoA arrays, both CSR pools, the partition work/pending
+// lists, the per-domain activation lists — is allocated from a
+// per-simulator bump arena (rtl/arena.hpp): teardown frees a handful of
+// chunks no matter the design size, and a fresh simulator (a
+// SweepDriver job, a run_forked() branch) pays no per-node heap traffic
+// to elaborate.
+//
 // See src/rtl/README.md for the design discussion.
 #pragma once
 
@@ -73,6 +90,7 @@
 #include <string>
 #include <vector>
 
+#include "rtl/arena.hpp"
 #include "rtl/clock.hpp"
 #include "rtl/fault.hpp"
 #include "rtl/module.hpp"
@@ -202,6 +220,15 @@ class Simulator {
     std::size_t modules = 0;
   };
 
+  /// Footprint of the per-simulator arena that owns the elaborated
+  /// graph (SoA arrays, CSR pools, partition lists, activation lists).
+  /// Deterministic for a given design + run, so benches can chart it.
+  struct MemoryStats {
+    std::size_t arena_bytes_used = 0;      ///< bytes handed out
+    std::size_t arena_bytes_reserved = 0;  ///< bytes malloc'd in chunks
+    std::size_t arena_chunks = 0;          ///< frees paid at teardown
+  };
+
   /// Builds a simulator over the design rooted at `top`.  The module
   /// tree must not change shape afterwards (signals/modules/domains are
   /// discovered once, here).  At most one simulator may be bound to a
@@ -288,6 +315,19 @@ class Simulator {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats();
 
+  /// Arena footprint of the elaborated graph (see MemoryStats).
+  [[nodiscard]] MemoryStats memory_stats() const {
+    return {arena_.bytes_used(), arena_.bytes_reserved(),
+            arena_.chunk_count()};
+  }
+
+  /// Number of distinct reader modules learned for `s` so far (the
+  /// length of its CSR fanout span).  Diagnostic: the fanout is a
+  /// deduplicated set, so this must never exceed the number of modules
+  /// that ever read `s`.  Throws Error for a signal outside this
+  /// simulator's design.
+  [[nodiscard]] std::size_t fanout_size(const SignalBase& s) const;
+
   /// Maximum delta iterations per settle before CombLoopError.
   void set_delta_limit(int limit);
 
@@ -373,7 +413,13 @@ class Simulator {
 
   /// Per-domain scheduler state: the activation list (modules whose
   /// on_clock() runs on this domain's edges) and the next edge tick.
+  /// The module lists live in the simulator's arena.
   struct DomainSched {
+    explicit DomainSched(Arena* a)
+        : active(ArenaAlloc<Module*>(a)),
+          opaque(ArenaAlloc<Module*>(a)),
+          checkers(ArenaAlloc<Module*>(a)) {}
+
     const ClockDomain* domain = nullptr;  ///< nullptr = built-in default
     std::string name = "clk";
     std::uint64_t period = 1;
@@ -381,16 +427,16 @@ class Simulator {
     std::uint64_t next_edge = 1;
     /// Modules clocked by this domain whose on_clock() actually runs —
     /// declare_comb_only() modules are pruned out entirely.
-    std::vector<Module*> active;
+    ArenaVector<Module*> active;
     /// Count of comb-only modules pruned from `active` (keeps the
     /// act_skips accounting and DomainInfo::modules at their
     /// historical, pre-pruning meaning).
     std::size_t pruned = 0;
-    std::vector<Module*> opaque;  ///< active subset without declarations
+    ArenaVector<Module*> opaque;  ///< active subset without declarations
     /// Active subset that opted into the on_clock_check() validate
     /// phase (strict devices).  Empty for most designs, so the extra
     /// per-edge pass costs nothing unless a strict device exists.
-    std::vector<Module*> checkers;
+    ArenaVector<Module*> checkers;
   };
 
   /// Heap order for the tick-ordered edge scheduler: a min-heap on
@@ -408,6 +454,10 @@ class Simulator {
 
   void bind();
   void unbind();
+  /// Allocates the dense SoA arrays and CSR index arrays from the
+  /// arena, adopts every Word/bool signal's two-phase values into the
+  /// dense value arrays, and seeds the per-id state.  Part of bind().
+  void build_soa();
   /// Resolves every module's effective domain (nearest ancestor with an
   /// explicit assignment, else the built-in default), builds the
   /// per-domain activation lists, and stamps every module's
@@ -434,8 +484,67 @@ class Simulator {
   /// One partition's share of commit_pending().
   struct Partition;
   void drain_pending(Partition& part);
+
+  // ---- dense-id kernel primitives (SoA hot paths) -------------------
+
+  /// Commits signal `sid` through the dense value arrays (Word/bool)
+  /// or the virtual fallback (kOther).  Returns true when the visible
+  /// value changed.
+  bool commit_signal(std::int32_t sid) {
+    const std::uint32_t slot = sig_slot_[sid];
+    switch (static_cast<SigKind>(sig_kind_[sid])) {
+      case SigKind::kWord:
+        if (word_nxt_[slot] == word_cur_[slot]) return false;
+        word_cur_[slot] = word_nxt_[slot];
+        return true;
+      case SigKind::kBool:
+        if (bool_nxt_[slot] == bool_cur_[slot]) return false;
+        bool_cur_[slot] = bool_nxt_[slot];
+        return true;
+      case SigKind::kOther:
+        break;
+    }
+    return signals_[static_cast<std::size_t>(sid)]->commit();
+  }
+
+  /// next := current for signal `sid` (aborted-event rollback).
+  void discard_signal(std::int32_t sid) {
+    const std::uint32_t slot = sig_slot_[sid];
+    switch (static_cast<SigKind>(sig_kind_[sid])) {
+      case SigKind::kWord:
+        word_nxt_[slot] = word_cur_[slot];
+        return;
+      case SigKind::kBool:
+        bool_nxt_[slot] = bool_cur_[slot];
+        return;
+      case SigKind::kOther:
+        signals_[static_cast<std::size_t>(sid)]->discard_write();
+        return;
+    }
+  }
+
+  /// Appends module `mid` to signal `sid`'s CSR fanout span, growing
+  /// (relocating to the pool tail) when the span is full.
+  void fan_push(std::int32_t sid, std::int32_t mid);
+  /// Appends signal `sid` to module `mid`'s CSR accumulated-read-set
+  /// span.  fan_push/sens_push always run as a pair, preserving the
+  /// invariant  s ∈ reads(m)  ⟺  m ∈ fanout(s).
+  void sens_push(std::int32_t mid, std::int32_t sid);
+  /// Folds one traced evaluation's reads into the fanout CSR: for every
+  /// read signal whose last_reader_ is not `mid`, membership of the
+  /// (signal, module) edge is decided by stamping the module's
+  /// accumulated read set into sig_mark_ under a fresh mark_epoch_ —
+  /// O(reads) instead of the former per-signal linear find.
+  void merge_reads(std::int32_t mid,
+                   const std::vector<std::int32_t>& reads);
+  /// One deferred (signal, module) fanout merge from a parallel-settle
+  /// context, folded after the round's barrier.  Membership here is a
+  /// contiguous scan of the (typically tiny) CSR span — the epoch
+  /// batching of merge_reads() does not pay off for isolated pairs.
+  void merge_one(std::int32_t sid, std::int32_t mid);
+
   /// Runs one eval_comb() under the read tracer and folds newly observed
-  /// reads into the signals' fanout lists.
+  /// reads into the fanout/read-set CSRs.
   void eval_traced(Module* m);
   /// The eval_comb() call itself, with the telemetry profiling hook
   /// folded in (reached only when a tracer is attached).
@@ -451,20 +560,15 @@ class Simulator {
   }
   void run_on_clock_profiled(Module* m);
   void mark_all_modules_dirty();
-  void mark_module_dirty(Module* m) {
-    if (!m->comb_dirty_) {
-      m->comb_dirty_ = true;
-      // The partition's worklist is fused into the module at
-      // elaboration (work_queue_): the single-partition fast path is a
-      // flag test and one pointer chase, no index or branch.
-      m->work_queue_->push_back(m);
-      if (!single_part_) {
-        Partition& p = parts_[static_cast<std::size_t>(m->part_)];
-        if (!p.queued) {
-          p.queued = true;
-          dirty_parts_.push_back(static_cast<std::size_t>(m->part_));
-        }
-      }
+  void mark_module_dirty(std::int32_t mid) {
+    if (mod_dirty_[mid] != 0) return;
+    mod_dirty_[mid] = 1;
+    const std::size_t pi = static_cast<std::size_t>(mod_part_[mid]);
+    Partition& p = parts_[pi];
+    p.worklist.push_back(mid);
+    if (!single_part_ && !p.queued) {
+      p.queued = true;
+      dirty_parts_.push_back(pi);
     }
   }
   /// Modules currently on a dirty worklist, summed over partitions.
@@ -497,12 +601,14 @@ class Simulator {
   void abort_edge_event();
   /// Verifies that a declared module's on_clock() only wrote registered
   /// signals — the entries its call appended beyond pend_mark_ on any
-  /// partition's pending list; throws ProtocolError if not.
+  /// partition's pending list; throws ProtocolError if not.  The
+  /// registered set is the module's seq CSR span (built at bind from
+  /// the register_seq() declarations).
   void check_seq_writes(const Module* m) const;
   /// One-list body of check_seq_writes: entries pending[first..] must
-  /// all be in m's register_seq() declaration.
+  /// all be in m's register declaration span.
   void check_seq_writes_in(const Module* m,
-                           const std::vector<SignalBase*>& pending,
+                           const ArenaVector<std::int32_t>& pending,
                            std::size_t first) const;
   /// Snapshots every partition's pending-list size into pend_mark_
   /// (the per-module baseline for check_seq_writes).
@@ -514,7 +620,13 @@ class Simulator {
   /// after the round's barrier).
   struct ParallelCtx;
   void drain_partition_parallel(std::size_t pi, ParallelCtx& ctx);
-  void mark_vcd_change(SignalBase* s);
+  void mark_vcd_change(std::int32_t sid) {
+    // sig_vcdmark_: 0 = clean, 1 = on vcd_changed_, 2 = never sampled
+    // (width <= 0 testbench signals) — one branch covers both skips.
+    if (sig_vcdmark_[sid] != 0) return;
+    sig_vcdmark_[sid] = 1;
+    vcd_changed_.push_back(sid);
+  }
   void sample_vcd();
   [[noreturn]] void throw_comb_loop() const;
 
@@ -561,12 +673,55 @@ class Simulator {
 
   Module& top_;
   Options opt_;
+  /// Owns every byte of the elaborated graph's kernel storage (see
+  /// rtl/arena.hpp).  Declared before every member that allocates from
+  /// it, so construction order is sound and teardown frees the chunks
+  /// after the containers died (their deallocate is a no-op anyway).
+  Arena arena_;
   std::vector<Module*> modules_;
   std::vector<SignalBase*> signals_;
   std::uint64_t cycle_ = 0;
   std::uint64_t tick_ = 0;
   Stats stats_;
   std::unique_ptr<VcdWriter> vcd_;
+
+  // ---- dense SoA kernel state (arena-allocated, indexed by id) ------
+  // Per-signal arrays, length signals_.size():
+  unsigned char* sig_kind_ = nullptr;     ///< SigKind tag
+  unsigned char* sig_pending_ = nullptr;  ///< on a pending-commit list
+  unsigned char* sig_vcdmark_ = nullptr;  ///< 0 clean / 1 listed / 2 never
+  std::int16_t* sig_part_ = nullptr;      ///< domain-affinity partition
+  std::uint32_t* sig_slot_ = nullptr;     ///< index into the value arrays
+  std::uint64_t* sig_stamp_ = nullptr;    ///< ReadTracer dedup stamps
+  std::uint64_t* sig_mark_ = nullptr;     ///< merge_reads() seen-stamps
+  std::int32_t* last_reader_ = nullptr;   ///< fanout-merge fast path (-1)
+  // Dense two-phase value arrays; Word/bool signals' curp_/nxtp_ point
+  // into these after bind (slot order = id order, so commits stream).
+  Word* word_cur_ = nullptr;
+  Word* word_nxt_ = nullptr;
+  bool* bool_cur_ = nullptr;
+  bool* bool_nxt_ = nullptr;
+  // CSR fanout (signal -> reader-module ids) and accumulated read sets
+  // (module -> signal ids): [begin, begin+count) spans into the pools,
+  // with cap for amortized relocate-to-tail growth.
+  std::uint32_t* fan_begin_ = nullptr;
+  std::uint32_t* fan_count_ = nullptr;
+  std::uint32_t* fan_cap_ = nullptr;
+  std::uint32_t* sens_begin_ = nullptr;
+  std::uint32_t* sens_count_ = nullptr;
+  std::uint32_t* sens_cap_ = nullptr;
+  // Per-module arrays, length modules_.size():
+  unsigned char* mod_dirty_ = nullptr;  ///< on a dirty worklist
+  std::int16_t* mod_part_ = nullptr;    ///< domain-affinity partition
+  std::uint64_t* mod_mark_ = nullptr;   ///< restore-time dup detection
+  // Per-module register-signal declarations as a CSR over signal ids
+  // (the check_seq_writes membership scan).
+  std::uint32_t* seq_begin_ = nullptr;
+  std::uint32_t* seq_count_ = nullptr;
+  ArenaVector<std::int32_t> fan_pool_;   ///< CSR fanout storage
+  ArenaVector<std::int32_t> sens_pool_;  ///< CSR read-set storage
+  ArenaVector<std::int32_t> seq_pool_;   ///< CSR register-decl storage
+  std::uint64_t mark_epoch_ = 0;         ///< merge_reads() stamp epoch
 
   // Tick-ordered edge scheduler state.  heap_ is a binary min-heap of
   // domain indices ordered by (next_edge, index) — index as tiebreak so
@@ -581,14 +736,20 @@ class Simulator {
   /// worklist of its own.  A settle drains only partitions reachable
   /// from the firing domains' dirty sets — cross-partition fanout arcs
   /// (the async-FIFO CDC boundary, by the contract in README.md) wake a
-  /// foreign partition; everything else leaves it untouched.
+  /// foreign partition; everything else leaves it untouched.  Both
+  /// lists hold dense ids and live in the arena.
   struct Partition {
-    std::vector<Module*> worklist;  ///< dirty modules, next delta
-    /// Signals awaiting commit whose writer routed here — the signal's
-    /// own partition from Signal::write() (resolved at elaboration into
-    /// SignalBase::queue_), or the draining worker's partition inside a
-    /// parallel settle.  Only ever touched by one thread at a time.
-    std::vector<SignalBase*> pending;
+    explicit Partition(Arena* a)
+        : worklist(ArenaAlloc<std::int32_t>(a)),
+          pending(ArenaAlloc<std::int32_t>(a)) {}
+
+    ArenaVector<std::int32_t> worklist;  ///< dirty module ids, next delta
+    /// Signal ids awaiting commit whose writer routed here — the
+    /// signal's own partition from Signal::write() (resolved at
+    /// elaboration into SignalBase::queue_), or the draining worker's
+    /// partition inside a parallel settle.  Only ever touched by one
+    /// thread at a time.
+    ArenaVector<std::int32_t> pending;
     bool queued = false;            ///< on dirty_parts_
     std::uint64_t settle_seen = 0;  ///< last settle_seq_ that touched it
   };
@@ -610,13 +771,13 @@ class Simulator {
   Tracer* telem_ = nullptr;
 
   // Event-driven kernel state.
-  std::vector<Module*> eval_list_;        ///< dirty modules, this delta
+  ArenaVector<std::int32_t> eval_list_;   ///< dirty module ids, this delta
   std::vector<Module*> touched_;          ///< seq_touch() reporters, this edge
   std::vector<std::size_t> pend_mark_;    ///< pending sizes, contract check
   ReadTracer tracer_;
   std::uint64_t eval_stamp_ = 0;          ///< unique id per traced eval
-  std::vector<SignalBase*> vcd_changed_;  ///< changed since last sample
-  bool vcd_full_pending_ = false;         ///< next sample must scan all
+  ArenaVector<std::int32_t> vcd_changed_;  ///< ids changed since last sample
+  bool vcd_full_pending_ = false;          ///< next sample must scan all
 
   // Snapshot / crash-consistency state.
   bool busy_ = false;            ///< inside step()/settle()/reset()

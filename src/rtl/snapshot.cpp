@@ -15,6 +15,7 @@
 // flags bit 0 marks a capture by the full-sweep kernel: its fanout
 // lists are empty (never traced), so an event-kernel restore re-seeds a
 // full settle exactly like the post-bind seeding.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -176,11 +177,17 @@ Snapshot Simulator::save_snapshot() const {
   // Committed signal values.
   w.u32(static_cast<std::uint32_t>(signals_.size()));
   for (const SignalBase* s : signals_) s->save_value_fast(w);
-  // Learned fanout lists, in order (see file comment).
+  // Learned fanout lists, in order (see file comment).  Read out of the
+  // CSR spans — the bytes are identical to the historical per-signal
+  // pointer-vector dump, because the spans hold module ids in the same
+  // append order the old lists did.
   for (const SignalBase* s : signals_) {
-    w.u32(static_cast<std::uint32_t>(s->fanout_.size()));
-    for (const Module* m : s->fanout_)
-      w.u32(static_cast<std::uint32_t>(m->sim_id_));
+    const std::int32_t sid = s->id_;
+    const std::uint32_t nf = fan_count_[sid];
+    w.u32(nf);
+    const std::uint32_t fb = fan_begin_[sid];
+    for (std::uint32_t k = 0; k < nf; ++k)
+      w.u32(static_cast<std::uint32_t>(fan_pool_[fb + k]));
   }
   // Module payloads, length-framed.
   save_module_states(w);
@@ -265,12 +272,17 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
     active_parts_.clear();
     eval_list_.clear();
     touched_.clear();
-    for (SignalBase* s : signals_) {
-      s->pending_ = false;
-      s->vcd_mark_ = false;
-      s->read_stamp_.store(0, std::memory_order_relaxed);
-      s->last_reader_ = nullptr;
-    }
+    const std::size_t nsig = signals_.size();
+    const std::size_t nmod = modules_.size();
+    std::fill_n(sig_pending_, nsig, static_cast<unsigned char>(0));
+    std::fill_n(sig_stamp_, nsig, std::uint64_t{0});
+    std::fill_n(sig_mark_, nsig, std::uint64_t{0});
+    std::fill_n(last_reader_, nsig, std::int32_t{-1});
+    mark_epoch_ = 0;
+    eval_stamp_ = 0;
+    // Only listed signals carry the vcd mark (sentinel 2 — never
+    // sampled — must survive), so clearing the list clears the marks.
+    for (const std::int32_t sid : vcd_changed_) sig_vcdmark_[sid] = 0;
     vcd_changed_.clear();
     // Committed signal values.
     const std::uint32_t ns = r.u32();
@@ -279,24 +291,44 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
                   std::to_string(ns) + ", design has " +
                   std::to_string(signals_.size()) + ")");
     for (SignalBase* s : signals_) s->load_value_fast(r);
-    // Fanout lists.
+    // Fanout lists -> CSR, rebuilt in lockstep with the per-module
+    // accumulated read sets so the  s ∈ reads(m) ⟺ m ∈ fanout(s)
+    // invariant holds at every prefix — a mid-rebuild throw then lands
+    // in reset() with a merely partial (monotone-superset-safe)
+    // sensitivity, never an inconsistent one.  mod_mark_ detects a
+    // duplicated module id inside one signal's list (a corrupted blob
+    // the old pointer-vector restore silently tolerated).
+    fan_pool_.clear();
+    sens_pool_.clear();
+    std::fill_n(fan_begin_, nsig, std::uint32_t{0});
+    std::fill_n(fan_count_, nsig, std::uint32_t{0});
+    std::fill_n(fan_cap_, nsig, std::uint32_t{0});
+    std::fill_n(sens_begin_, nmod, std::uint32_t{0});
+    std::fill_n(sens_count_, nmod, std::uint32_t{0});
+    std::fill_n(sens_cap_, nmod, std::uint32_t{0});
+    std::fill_n(mod_mark_, nmod, std::uint64_t{0});
+    std::uint64_t pass = 0;
     for (SignalBase* s : signals_) {
+      const std::int32_t sid = s->id_;
       const std::uint32_t nf = r.u32();
-      s->fanout_.clear();
-      s->fanout_.reserve(nf);
+      ++pass;
       for (std::uint32_t j = 0; j < nf; ++j) {
         const std::uint32_t id = r.u32();
         if (id >= modules_.size())
           throw SnapshotError("snapshot: fanout module id " + std::to_string(id) +
                       " out of range for signal '" + s->full_name() +
                       "'");
-        s->fanout_.push_back(modules_[id]);
+        if (mod_mark_[id] == pass)
+          throw SnapshotError("snapshot: duplicate fanout module id " +
+                      std::to_string(id) + " for signal '" +
+                      s->full_name() + "' — corrupted blob");
+        mod_mark_[id] = pass;
+        fan_push(sid, static_cast<std::int32_t>(id));
+        sens_push(static_cast<std::int32_t>(id), sid);
       }
     }
-    for (Module* m : modules_) {
-      m->comb_dirty_ = false;
-      m->seq_touched_ = false;
-    }
+    std::fill_n(mod_dirty_, nmod, static_cast<unsigned char>(0));
+    for (Module* m : modules_) m->seq_touched_ = false;
     // Module payloads.
     load_module_states(r);
     if (r.remaining() != 0)
@@ -307,8 +339,8 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
       // Full-sweep captures carry no learned sensitivity: seed a full
       // settle, exactly like the post-bind seeding.
       for (SignalBase* s : signals_) {
-        s->pending_ = true;
-        s->queue_->push_back(s);
+        sig_pending_[s->id_] = 1;
+        s->queue_->push_back(s->id_);
       }
       mark_all_modules_dirty();
     }

@@ -100,12 +100,13 @@ void VcdWriter::sample(std::uint64_t tick) {
 }
 
 void VcdWriter::sample_changed(std::uint64_t tick,
-                               const std::vector<SignalBase*>& changed) {
+                               const std::int32_t* changed,
+                               std::size_t n) {
   // Emit in declaration order so the output is byte-identical to the
   // full-scan path (the differential kernel test relies on this).
   scratch_.clear();
-  for (SignalBase* s : changed) {
-    const int sid = s->id_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t sid = changed[i];
     if (sid < 0 ||
         static_cast<std::size_t>(sid) >= entry_by_signal_id_.size())
       continue;

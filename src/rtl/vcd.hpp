@@ -45,10 +45,11 @@ class VcdWriter {
   /// scanning every declared signal.
   void sample(std::uint64_t tick);
 
-  /// Like sample(), but only inspects `changed` (each entry at most
-  /// once).  Signals not declared in the header are ignored.
-  void sample_changed(std::uint64_t tick,
-                      const std::vector<SignalBase*>& changed);
+  /// Like sample(), but only inspects the `n` dense signal ids in
+  /// `changed` (each entry at most once).  Ids not declared in the
+  /// header (testbench signals) are ignored.
+  void sample_changed(std::uint64_t tick, const std::int32_t* changed,
+                      std::size_t n);
 
  private:
   struct Entry {

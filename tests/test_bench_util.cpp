@@ -1,0 +1,113 @@
+// Unit tests for the bench binaries' shared `--trace` flag parser
+// (bench/bench_util.hpp).  Pins the ISSUE-9 bugfix: a trailing
+// `--trace` with no value and an empty `--trace=` path used to pass
+// through silently (the first to the downstream parser's unknown-flag
+// handling, the second as "tracing disabled") — both now throw a
+// field-named Error, and well-formed flags keep stripping cleanly out
+// of argv regardless of position or repetition.
+#include "../bench/bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using hwpat::Error;
+using hwpat::benchutil::take_trace_flag;
+
+/// argv harness: owns mutable copies of the argument strings (argv
+/// cells must stay valid while the parser compacts them).
+struct Args {
+  explicit Args(std::vector<std::string> in) : strings(std::move(in)) {
+    strings.insert(strings.begin(), "bench");
+    for (std::string& s : strings) argv.push_back(s.data());
+    argc = static_cast<int>(argv.size());
+  }
+  /// The arguments left after parsing, minus the program name.
+  [[nodiscard]] std::vector<std::string> rest() const {
+    std::vector<std::string> out;
+    for (int i = 1; i < argc; ++i) out.emplace_back(argv[i]);
+    return out;
+  }
+  std::vector<std::string> strings;
+  std::vector<char*> argv;
+  int argc = 0;
+};
+
+TEST(TakeTraceFlag, AbsentFlagLeavesArgvUntouched) {
+  Args a({"--benchmark_filter=foo", "--color"});
+  EXPECT_EQ(take_trace_flag(a.argc, a.argv.data()), "");
+  EXPECT_EQ(a.rest(),
+            (std::vector<std::string>{"--benchmark_filter=foo", "--color"}));
+}
+
+TEST(TakeTraceFlag, SeparateValueForm) {
+  Args a({"--trace", "out.json"});
+  EXPECT_EQ(take_trace_flag(a.argc, a.argv.data()), "out.json");
+  EXPECT_TRUE(a.rest().empty());
+}
+
+TEST(TakeTraceFlag, EqualsValueForm) {
+  Args a({"--trace=out.json"});
+  EXPECT_EQ(take_trace_flag(a.argc, a.argv.data()), "out.json");
+  EXPECT_TRUE(a.rest().empty());
+}
+
+TEST(TakeTraceFlag, InterleavedFlagsSurviveInOrder) {
+  Args a({"--benchmark_filter=x", "--trace", "t.json",
+          "--benchmark_min_time=0.5"});
+  EXPECT_EQ(take_trace_flag(a.argc, a.argv.data()), "t.json");
+  EXPECT_EQ(a.rest(), (std::vector<std::string>{
+                          "--benchmark_filter=x",
+                          "--benchmark_min_time=0.5"}));
+}
+
+TEST(TakeTraceFlag, RepeatedFlagLastWins) {
+  Args a({"--trace=first.json", "--keep", "--trace", "second.json"});
+  EXPECT_EQ(take_trace_flag(a.argc, a.argv.data()), "second.json");
+  EXPECT_EQ(a.rest(), (std::vector<std::string>{"--keep"}));
+}
+
+TEST(TakeTraceFlag, TrailingFlagWithoutValueThrows) {
+  // Previously fell through to the downstream parser as an unknown
+  // flag (or was silently eaten), looking like a successful un-traced
+  // run.
+  Args a({"--benchmark_filter=x", "--trace"});
+  EXPECT_THROW(take_trace_flag(a.argc, a.argv.data()), Error);
+}
+
+TEST(TakeTraceFlag, LoneFlagWithoutValueThrows) {
+  Args a({"--trace"});
+  try {
+    take_trace_flag(a.argc, a.argv.data());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--trace"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("file path"), std::string::npos);
+  }
+}
+
+TEST(TakeTraceFlag, EmptyEqualsPathThrows) {
+  // Previously parsed as path "" — run_traced was never called and the
+  // run silently lost its tracing.
+  Args a({"--trace="});
+  EXPECT_THROW(take_trace_flag(a.argc, a.argv.data()), Error);
+}
+
+TEST(TakeTraceFlag, EmptySeparateValueThrows) {
+  Args a({"--trace", ""});
+  EXPECT_THROW(take_trace_flag(a.argc, a.argv.data()), Error);
+}
+
+TEST(TakeTraceFlag, ValueLookingLikeFlagIsTakenVerbatim) {
+  // `--trace --benchmark_filter=x` consumes the next token as the path
+  // (standard two-token flag semantics); the result is a strange file
+  // name, not a parse error — document that with a pin.
+  Args a({"--trace", "--next"});
+  EXPECT_EQ(take_trace_flag(a.argc, a.argv.data()), "--next");
+  EXPECT_TRUE(a.rest().empty());
+}
+
+}  // namespace

@@ -108,6 +108,18 @@ static void test_flagship_run(void) {
   CHECK(stats.seq_touches > 0);
   CHECK(stats.seq_skips > 0);
 
+  /* Arena footprint of the elaborated graph: nonzero, consistent, and
+   * struct_size-negotiated like the work counters. */
+  hwpat_sim_memory_stats mem;
+  hwpat_sim_memory_stats_init(&mem);
+  CHECK(mem.struct_size == sizeof mem);
+  CHECK(hwpat_sim_memory_stats_get(sim, &mem) == HWPAT_OK);
+  CHECK(mem.arena_bytes_used > 0);
+  CHECK(mem.arena_bytes_reserved >= mem.arena_bytes_used);
+  CHECK(mem.arena_chunks >= 1);
+  mem.struct_size = 0;
+  CHECK(hwpat_sim_memory_stats_get(sim, &mem) == HWPAT_ERR_ARGUMENT);
+
   hwpat_sim_destroy(sim);
 }
 
