@@ -30,6 +30,8 @@ ROWS = [
     ("teardown/saa2vga_triclk_farm3", None),
     ("elaborate/saa2vga_pattern_48x32", "arena_bytes_used"),
     ("elaborate/saa2vga_triclk_farm3", "arena_bytes_used"),
+    ("emit/structured_ir", "units_per_sec"),
+    ("emit/raw_lines", "units_per_sec"),
 ]
 
 
@@ -63,6 +65,8 @@ def fmt(value, key):
         return f"{value / 1e3:.2f} us"
     if "bytes" in (key or ""):
         return f"{value / 1024:.1f} KiB"
+    if key == "units_per_sec":
+        return f"{value / 1e3:.1f} k/s"
     return f"{value:.0f}"
 
 

@@ -1,5 +1,14 @@
 #include "devices/async_fifo.hpp"
 
+// This simulation model and the VHDL the generator emits for the
+// AsyncFifoCore device binding (meta::fill_async_fifo_arch -> the
+// golden tests/golden/queue_async_fifo.vhd) are the same Cummings
+// design: per-domain binary+gray pointer registers, 2-flop
+// synchronizers for the opposite pointer, full = wr gray vs synced rd
+// gray with the top two bits inverted, empty = rd gray vs synced wr
+// gray.  Keep the two in lockstep — the CDC argument made here in
+// simulation is the one the emitted RTL embodies.
+
 namespace hwpat::devices {
 
 // ---------------------------------------------------------------------

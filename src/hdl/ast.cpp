@@ -1,6 +1,11 @@
 #include "hdl/ast.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cctype>
+
 #include "common/error.hpp"
+#include "common/text.hpp"
 
 namespace hwpat::hdl {
 
@@ -30,6 +35,65 @@ std::vector<std::string> Entity::port_names() const {
   names.reserve(ports.size());
   for (const auto& p : ports) names.push_back(p.name);
   return names;
+}
+
+namespace {
+
+// The VHDL'93 reserved words (LRM Annex B), lowercase.
+constexpr std::array kReserved = {
+    "abs",        "access",    "after",      "alias",     "all",
+    "and",        "architecture", "array",   "assert",    "attribute",
+    "begin",      "block",     "body",       "buffer",    "bus",
+    "case",       "component", "configuration", "constant", "disconnect",
+    "downto",     "else",      "elsif",      "end",       "entity",
+    "exit",       "file",      "for",        "function",  "generate",
+    "generic",    "group",     "guarded",    "if",        "impure",
+    "in",         "inertial",  "inout",      "is",        "label",
+    "library",    "linkage",   "literal",    "loop",      "map",
+    "mod",        "nand",      "new",        "next",      "nor",
+    "not",        "null",      "of",         "on",        "open",
+    "or",         "others",    "out",        "package",   "port",
+    "postponed",  "procedure", "process",    "pure",      "range",
+    "record",     "register",  "reject",     "rem",       "report",
+    "return",     "rol",       "ror",        "select",    "severity",
+    "shared",     "signal",    "sla",        "sll",       "sra",
+    "srl",        "subtype",   "then",       "to",        "transport",
+    "type",       "unaffected", "units",     "until",     "use",
+    "variable",   "wait",      "when",       "while",     "with",
+    "xnor",       "xor",
+};
+
+}  // namespace
+
+bool is_reserved_word(const std::string& name) {
+  const std::string lower = to_lower(name);
+  return std::find(kReserved.begin(), kReserved.end(), lower) !=
+         kReserved.end();
+}
+
+bool is_legal_identifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0]))) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    const auto c = static_cast<unsigned char>(name[i]);
+    if (!std::isalnum(c) && name[i] != '_') return false;
+    if (name[i] == '_' && name[i - 1] == '_') return false;
+  }
+  if (name.back() == '_') return false;
+  return !is_reserved_word(name);
+}
+
+void validate_identifier(const std::string& name,
+                         const std::string& field) {
+  if (is_legal_identifier(name)) return;
+  if (is_reserved_word(name))
+    throw Error("hdl: " + field + " '" + name +
+                "' is a VHDL reserved word — rename it (or run it "
+                "through legalize_identifier)");
+  throw Error("hdl: " + field + " '" + name +
+              "' is not a legal VHDL identifier (letter first, "
+              "letters/digits/underscores, no double or trailing "
+              "underscore)");
 }
 
 }  // namespace hwpat::hdl

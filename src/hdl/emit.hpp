@@ -1,4 +1,10 @@
-// VHDL'93 pretty-printer for the hdl AST.
+// VHDL'93 pretty-printer for the hdl AST + statement/expression IR.
+//
+// Emission is deterministic: parentheses are re-derived from the tree
+// shape by a fixed precedence rule (never stored), indentation is fixed
+// two-space, and every emit of the same tree yields the same bytes.
+// The structural parser (parse.hpp) relies on this to close the
+// emit -> parse -> re-emit byte-identity loop.
 #pragma once
 
 #include <string>
@@ -14,11 +20,17 @@ namespace hwpat::hdl {
 [[nodiscard]] std::string emit_architecture(const Architecture& a);
 
 /// Renders a whole design file: context clause, entity, architecture.
+/// Runs validate_unit() first — malformed trees throw instead of
+/// reaching text.
 [[nodiscard]] std::string emit_unit(const DesignUnit& u);
+
+/// Renders one expression tree (no trailing newline).  Exposed for the
+/// round-trip tests; emit_unit uses it internally.
+[[nodiscard]] std::string emit_expr(const Expr& e);
 
 /// Lowercases and sanitises an arbitrary name into a legal VHDL
 /// identifier (alphanumeric/underscore, starts with a letter, no
-/// trailing/double underscores).
+/// trailing/double underscores, never a reserved word).
 [[nodiscard]] std::string legalize_identifier(const std::string& name);
 
 }  // namespace hwpat::hdl

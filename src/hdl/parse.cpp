@@ -1,0 +1,848 @@
+#include "hdl/parse.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hwpat::hdl {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw Error("hdl parse: " + msg);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// -------------------------------------------------------------------
+// Expression lexer/parser
+// -------------------------------------------------------------------
+
+struct Tok {
+  enum Kind { Id, Num, Char, Str, Sym, End } kind = End;
+  std::string s;
+  long long v = 0;
+};
+
+std::vector<Tok> lex_expr(const std::string& text) {
+  std::vector<Tok> toks;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  // A quote is an attribute tick only after something a postfix can
+  // apply to: a *name* or a closing paren.  Keywords and word-operators
+  // (else, when, and, ...) are followed by character literals instead.
+  auto is_keyword = [](const std::string& s) {
+    return s == "and" || s == "or" || s == "xor" || s == "nand" ||
+           s == "nor" || s == "not" || s == "when" || s == "else" ||
+           s == "downto" || s == "others";
+  };
+  auto prev_is_postfix = [&] {
+    if (toks.empty()) return false;
+    const Tok& t = toks.back();
+    return (t.kind == Tok::Id && !is_keyword(t.s)) ||
+           (t.kind == Tok::Sym && t.s == ")");
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t b = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_'))
+        ++i;
+      toks.push_back({Tok::Id, text.substr(b, i - b), 0});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t b = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i])))
+        ++i;
+      Tok t{Tok::Num, text.substr(b, i - b), 0};
+      t.v = std::stoll(t.s);
+      toks.push_back(t);
+      continue;
+    }
+    if (c == '"') {
+      std::size_t b = ++i;
+      while (i < n && text[i] != '"') ++i;
+      if (i == n) fail("unterminated bit-string literal in '" + text + "'");
+      toks.push_back({Tok::Str, text.substr(b, i - b), 0});
+      ++i;
+      continue;
+    }
+    if (c == '\'') {
+      if (prev_is_postfix()) {
+        toks.push_back({Tok::Sym, "'", 0});
+        ++i;
+        continue;
+      }
+      if (i + 2 >= n || text[i + 2] != '\'')
+        fail("bad character literal in '" + text + "'");
+      toks.push_back({Tok::Char, std::string(1, text[i + 1]), 0});
+      i += 3;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '=') {
+      toks.push_back({Tok::Sym, "/=", 0});
+      i += 2;
+      continue;
+    }
+    if (c == '=' && i + 1 < n && text[i + 1] == '>') {
+      toks.push_back({Tok::Sym, "=>", 0});
+      i += 2;
+      continue;
+    }
+    if (std::string("()+-&=,").find(c) != std::string::npos) {
+      toks.push_back({Tok::Sym, std::string(1, c), 0});
+      ++i;
+      continue;
+    }
+    fail("unexpected character '" + std::string(1, c) + "' in '" + text +
+         "'");
+  }
+  toks.push_back({Tok::End, "", 0});
+  return toks;
+}
+
+bool is_known_function(const std::string& name) {
+  return name == "unsigned" || name == "std_logic_vector" ||
+         name == "resize" || name == "to_integer" ||
+         name == "to_unsigned" || name == "shift_right" ||
+         name == "shift_left" || name == "rising_edge" ||
+         name == "falling_edge";
+}
+
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text)
+      : text_(text), toks_(lex_expr(text)) {}
+
+  Expr parse() {
+    Expr e = parse_cond();
+    if (peek().kind != Tok::End)
+      fail("trailing tokens after expression in '" + text_ + "'");
+    return e;
+  }
+
+  Expr parse_cond() {
+    Expr v = parse_logic();
+    if (!accept_id("when")) return v;
+    Expr c = parse_logic();
+    expect_id("else");
+    Expr e = parse_cond();
+    Expr out;
+    out.kind = ExprKind::Cond;
+    out.args = {std::move(c), std::move(v), std::move(e)};
+    return out;
+  }
+
+ private:
+  const Tok& peek() const { return toks_[i_]; }
+  const Tok& take() { return toks_[i_++]; }
+
+  bool accept_id(const std::string& s) {
+    if (peek().kind == Tok::Id && peek().s == s) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_sym(const std::string& s) {
+    if (peek().kind == Tok::Sym && peek().s == s) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_id(const std::string& s) {
+    if (!accept_id(s))
+      fail("expected '" + s + "' in '" + text_ + "'");
+  }
+
+  void expect_sym(const std::string& s) {
+    if (!accept_sym(s))
+      fail("expected '" + s + "' in '" + text_ + "'");
+  }
+
+  static Expr mk_binary(std::string op, Expr l, Expr r) {
+    Expr e;
+    e.kind = ExprKind::Binary;
+    e.text = std::move(op);
+    e.args = {std::move(l), std::move(r)};
+    return e;
+  }
+
+  bool peek_logic_op() const {
+    return peek().kind == Tok::Id &&
+           (peek().s == "and" || peek().s == "or" || peek().s == "xor" ||
+            peek().s == "nand" || peek().s == "nor");
+  }
+
+  Expr parse_logic() {
+    Expr l = parse_rel();
+    while (peek_logic_op()) {
+      const std::string op = take().s;
+      l = mk_binary(op, std::move(l), parse_rel());
+    }
+    return l;
+  }
+
+  Expr parse_rel() {
+    Expr l = parse_add();
+    if (peek().kind == Tok::Sym && (peek().s == "=" || peek().s == "/=")) {
+      const std::string op = take().s;
+      return mk_binary(op, std::move(l), parse_add());
+    }
+    return l;
+  }
+
+  Expr parse_add() {
+    Expr l = parse_unary();
+    while (peek().kind == Tok::Sym &&
+           (peek().s == "+" || peek().s == "-" || peek().s == "&")) {
+      const std::string op = take().s;
+      l = mk_binary(op, std::move(l), parse_unary());
+    }
+    return l;
+  }
+
+  Expr parse_unary() {
+    if (accept_id("not")) {
+      Expr e;
+      e.kind = ExprKind::Unary;
+      e.text = "not";
+      e.args.push_back(parse_unary());
+      return e;
+    }
+    if (accept_sym("-")) {
+      Expr e;
+      e.kind = ExprKind::Unary;
+      e.text = "-";
+      e.args.push_back(parse_unary());
+      return e;
+    }
+    return parse_primary();
+  }
+
+  long long parse_int_token() {
+    bool neg = accept_sym("-");
+    if (peek().kind != Tok::Num)
+      fail("expected integer in '" + text_ + "'");
+    const long long v = take().v;
+    return neg ? -v : v;
+  }
+
+  Expr parse_primary() {
+    const Tok& t = peek();
+    if (t.kind == Tok::Sym && t.s == "(") {
+      ++i_;
+      if (accept_id("others")) {
+        expect_sym("=>");
+        if (peek().kind != Tok::Char || peek().s != "0")
+          fail("only (others => '0') aggregates are supported, in '" +
+               text_ + "'");
+        ++i_;
+        expect_sym(")");
+        return others0();
+      }
+      Expr e = parse_cond();
+      expect_sym(")");
+      return parse_postfix(std::move(e));
+    }
+    if (t.kind == Tok::Num) {
+      ++i_;
+      return num(t.v);
+    }
+    if (t.kind == Tok::Char) {
+      ++i_;
+      if (t.s != "0" && t.s != "1")
+        fail("character literal '" + t.s + "' is not a bit, in '" + text_ +
+             "'");
+      return bitl(t.s[0]);
+    }
+    if (t.kind == Tok::Str) {
+      ++i_;
+      return bitsl(t.s);
+    }
+    if (t.kind == Tok::Id) {
+      ++i_;
+      if (is_known_function(t.s) && peek().kind == Tok::Sym &&
+          peek().s == "(") {
+        ++i_;
+        std::vector<Expr> args;
+        if (!accept_sym(")")) {
+          args.push_back(parse_cond());
+          while (accept_sym(",")) args.push_back(parse_cond());
+          expect_sym(")");
+        }
+        return parse_postfix(fcall(t.s, std::move(args)));
+      }
+      return parse_postfix(sig(t.s));
+    }
+    fail("unexpected token in '" + text_ + "'");
+  }
+
+  /// Index, slice and attribute suffixes, applied left to right.
+  Expr parse_postfix(Expr base) {
+    for (;;) {
+      if (peek().kind == Tok::Sym && peek().s == "(") {
+        ++i_;
+        // Lookahead for `N downto M` — a slice; anything else indexes.
+        if ((peek().kind == Tok::Num || (peek().kind == Tok::Sym &&
+                                         peek().s == "-")) &&
+            is_downto_ahead()) {
+          const long long high = parse_int_token();
+          expect_id("downto");
+          const long long low = parse_int_token();
+          expect_sym(")");
+          base = slice(std::move(base), static_cast<int>(high),
+                       static_cast<int>(low));
+          continue;
+        }
+        Expr index = parse_cond();
+        expect_sym(")");
+        base = idx(std::move(base), std::move(index));
+        continue;
+      }
+      if (peek().kind == Tok::Sym && peek().s == "'") {
+        ++i_;
+        if (peek().kind != Tok::Id)
+          fail("expected attribute name in '" + text_ + "'");
+        const std::string attr = take().s;
+        Expr a;
+        a.kind = ExprKind::Attr;
+        a.text = attr;
+        a.args.push_back(std::move(base));
+        base = std::move(a);
+        continue;
+      }
+      return base;
+    }
+  }
+
+  bool is_downto_ahead() const {
+    std::size_t j = i_;
+    if (toks_[j].kind == Tok::Sym && toks_[j].s == "-") ++j;
+    if (toks_[j].kind != Tok::Num) return false;
+    ++j;
+    return toks_[j].kind == Tok::Id && toks_[j].s == "downto";
+  }
+
+  std::string text_;
+  std::vector<Tok> toks_;
+  std::size_t i_ = 0;
+};
+
+// -------------------------------------------------------------------
+// Statement parsing (line-oriented, over trimmed lines)
+// -------------------------------------------------------------------
+
+bool starts_with(const std::string& s, const std::string& p) {
+  return s.rfind(p, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() &&
+         s.compare(s.size() - p.size(), p.size(), p) == 0;
+}
+
+/// Splits `text;  -- comment` into the pre-semicolon text and the
+/// comment (empty when absent).
+std::pair<std::string, std::string> split_comment(const std::string& line) {
+  const std::size_t semi = line.rfind(';');
+  if (semi == std::string::npos)
+    fail("statement line without ';': '" + line + "'");
+  std::string comment;
+  const std::string tail = trim(line.substr(semi + 1));
+  if (!tail.empty()) {
+    if (!starts_with(tail, "-- "))
+      fail("trailing junk after ';': '" + line + "'");
+    comment = tail.substr(3);
+  }
+  return {line.substr(0, semi), comment};
+}
+
+bool is_stmt_terminator(const std::string& t) {
+  return t == "end if;" || t == "end case;" || t == "else" ||
+         starts_with(t, "elsif ") || starts_with(t, "when ");
+}
+
+class StmtParser {
+ public:
+  explicit StmtParser(std::vector<std::string> lines)
+      : lines_(std::move(lines)) {}
+
+  std::vector<Stmt> parse_all() {
+    std::vector<Stmt> out = parse_until_terminator();
+    if (i_ < lines_.size())
+      fail("unexpected '" + lines_[i_] + "' outside any block");
+    return out;
+  }
+
+ private:
+  std::vector<Stmt> parse_until_terminator() {
+    std::vector<Stmt> out;
+    while (i_ < lines_.size() && !is_stmt_terminator(lines_[i_]))
+      out.push_back(parse_stmt());
+    return out;
+  }
+
+  Stmt parse_stmt() {
+    const std::string& line = lines_[i_];
+    if (starts_with(line, "if ") && ends_with(line, " then"))
+      return parse_if();
+    if (starts_with(line, "case ") && ends_with(line, " is"))
+      return parse_case();
+    return parse_assign(line);
+  }
+
+  Stmt parse_assign(const std::string& line) {
+    ++i_;
+    const auto [text, comment] = split_comment(line);
+    const std::size_t arrow = text.find(" <= ");
+    if (arrow == std::string::npos)
+      fail("expected an assignment: '" + line + "'");
+    SignalAssign a;
+    a.lhs = parse_expr(text.substr(0, arrow));
+    a.rhs = parse_expr(text.substr(arrow + 4));
+    a.comment = comment;
+    return Stmt(a);
+  }
+
+  Stmt parse_if() {
+    IfStmt f;
+    std::string head = lines_[i_++];
+    for (;;) {
+      const bool is_first = starts_with(head, "if ");
+      const std::size_t skip = is_first ? 3 : 6;  // "if " / "elsif "
+      const std::string cond =
+          head.substr(skip, head.size() - skip - 5);  // strip " then"
+      IfArm arm;
+      arm.cond = parse_expr(cond);
+      arm.body = parse_until_terminator();
+      f.arms.push_back(std::move(arm));
+      if (i_ >= lines_.size()) fail("unterminated if statement");
+      const std::string& t = lines_[i_];
+      if (starts_with(t, "elsif ")) {
+        head = lines_[i_++];
+        continue;
+      }
+      if (t == "else") {
+        ++i_;
+        f.else_body = parse_until_terminator();
+        if (i_ >= lines_.size() || lines_[i_] != "end if;")
+          fail("unterminated else branch");
+        ++i_;
+        return Stmt(f);
+      }
+      if (t == "end if;") {
+        ++i_;
+        return Stmt(f);
+      }
+      fail("unexpected '" + t + "' inside if statement");
+    }
+  }
+
+  Stmt parse_case() {
+    const std::string& head = lines_[i_++];
+    CaseStmt c;
+    c.selector =
+        parse_expr(head.substr(5, head.size() - 5 - 3));  // case .. is
+    while (i_ < lines_.size() && starts_with(lines_[i_], "when ")) {
+      std::string line = lines_[i_++];
+      CaseArm arm;
+      const std::size_t arrow = line.find(" =>");
+      if (arrow == std::string::npos)
+        fail("malformed case arm: '" + line + "'");
+      const std::string choice = line.substr(5, arrow - 5);
+      const std::string tail = trim(line.substr(arrow + 3));
+      if (!tail.empty()) {
+        if (!starts_with(tail, "-- "))
+          fail("trailing junk after '=>': '" + line + "'");
+        arm.comment = tail.substr(3);
+      }
+      if (choice == "others") {
+        arm.is_others = true;
+      } else {
+        arm.choice = parse_expr(choice);
+      }
+      arm.body = parse_until_terminator();
+      c.arms.push_back(std::move(arm));
+    }
+    if (i_ >= lines_.size() || lines_[i_] != "end case;")
+      fail("unterminated case statement");
+    ++i_;
+    return Stmt(c);
+  }
+
+  std::vector<std::string> lines_;
+  std::size_t i_ = 0;
+};
+
+std::vector<Stmt> parse_stmts(std::vector<std::string> trimmed_lines) {
+  return StmtParser(std::move(trimmed_lines)).parse_all();
+}
+
+// -------------------------------------------------------------------
+// Unit parsing
+// -------------------------------------------------------------------
+
+Type parse_type(const std::string& text) {
+  if (text == "std_logic") return Type::bit();
+  if (starts_with(text, "std_logic_vector(") && ends_with(text, ")")) {
+    const std::string inner = text.substr(17, text.size() - 18);
+    const std::size_t d = inner.find(" downto ");
+    if (d == std::string::npos)
+      fail("bad vector range: '" + text + "'");
+    return Type::range(std::stoi(inner.substr(0, d)),
+                       std::stoi(inner.substr(d + 8)));
+  }
+  fail("unsupported type: '" + text + "'");
+}
+
+PortDir parse_dir(const std::string& text) {
+  if (text == "in") return PortDir::In;
+  if (text == "out") return PortDir::Out;
+  if (text == "inout") return PortDir::InOut;
+  fail("bad port direction: '" + text + "'");
+}
+
+class UnitParser {
+ public:
+  explicit UnitParser(const std::string& text)
+      : lines_(split_lines(text)) {}
+
+  DesignUnit parse() {
+    DesignUnit u;
+    u.libraries.clear();
+    parse_context(u);
+    parse_entity(u.entity);
+    parse_architecture(u);
+    return u;
+  }
+
+ private:
+  [[nodiscard]] const std::string& raw() const {
+    if (i_ >= lines_.size()) fail("unexpected end of file");
+    return lines_[i_];
+  }
+
+  [[nodiscard]] std::string cur() const { return trim(raw()); }
+
+  void parse_context(DesignUnit& u) {
+    while (i_ < lines_.size() && !starts_with(cur(), "entity ")) {
+      if (!cur().empty()) u.libraries.push_back(cur());
+      ++i_;
+    }
+  }
+
+  void parse_entity(Entity& e) {
+    const std::string head = cur();
+    if (!starts_with(head, "entity ") || !ends_with(head, " is"))
+      fail("expected 'entity NAME is', got '" + head + "'");
+    e.name = head.substr(7, head.size() - 7 - 3);
+    ++i_;
+    if (cur() == "generic (") {
+      ++i_;
+      while (cur() != ");") {
+        std::string line = cur();
+        ++i_;
+        if (ends_with(line, ";")) line.pop_back();
+        Generic g;
+        const std::size_t colon = line.find(" : ");
+        if (colon == std::string::npos)
+          fail("malformed generic: '" + line + "'");
+        g.name = line.substr(0, colon);
+        std::string rest = line.substr(colon + 3);
+        const std::size_t def = rest.find(" := ");
+        if (def != std::string::npos) {
+          g.default_value = rest.substr(def + 4);
+          rest = rest.substr(0, def);
+        }
+        g.type_name = rest;
+        e.generics.push_back(std::move(g));
+      }
+      ++i_;
+    }
+    if (cur() == "port (") {
+      ++i_;
+      std::string group;
+      while (cur() != ");") {
+        const std::string line = cur();
+        ++i_;
+        if (starts_with(line, "-- ")) {
+          group = line.substr(3);
+          continue;
+        }
+        std::string body = line;
+        if (ends_with(body, ";")) body.pop_back();
+        const std::size_t colon = body.find(" : ");
+        if (colon == std::string::npos)
+          fail("malformed port: '" + line + "'");
+        Port p;
+        p.name = body.substr(0, colon);
+        std::string rest = body.substr(colon + 3);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string::npos)
+          fail("malformed port: '" + line + "'");
+        p.dir = parse_dir(rest.substr(0, sp));
+        p.type = parse_type(rest.substr(sp + 1));
+        p.group = group;
+        e.ports.push_back(std::move(p));
+      }
+      ++i_;
+    }
+    if (cur() != "end " + e.name + ";")
+      fail("expected 'end " + e.name + ";', got '" + cur() + "'");
+    ++i_;
+  }
+
+  void parse_architecture(DesignUnit& u) {
+    while (i_ < lines_.size() && cur().empty()) ++i_;
+    const std::string head = cur();
+    if (!starts_with(head, "architecture ") || !ends_with(head, " is"))
+      fail("expected 'architecture A of E is', got '" + head + "'");
+    const std::string mid = head.substr(13, head.size() - 13 - 3);
+    const std::size_t of = mid.find(" of ");
+    if (of == std::string::npos)
+      fail("expected 'architecture A of E is', got '" + head + "'");
+    Architecture& a = u.arch;
+    a.name = mid.substr(0, of);
+    a.of = mid.substr(of + 4);
+    ++i_;
+    parse_decls(a);
+    if (cur() != "begin") fail("expected 'begin', got '" + cur() + "'");
+    ++i_;
+    const std::string tail = "end " + a.name + ";";
+    while (cur() != tail) parse_concurrent(a);
+    ++i_;
+  }
+
+  void parse_decls(Architecture& a) {
+    while (cur() != "begin") {
+      const std::string line = cur();
+      if (starts_with(line, "component ")) {
+        // Verbatim capture, de-indented by the emitter's two spaces.
+        std::vector<std::string> block;
+        while (true) {
+          std::string rawline = raw();
+          if (starts_with(rawline, "  ")) rawline = rawline.substr(2);
+          block.push_back(rawline);
+          ++i_;
+          if (ends_with(trim(block.back()), "end component;")) break;
+        }
+        std::string joined;
+        for (std::size_t k = 0; k < block.size(); ++k) {
+          if (k) joined += "\n";
+          joined += block[k];
+        }
+        a.component_decls.push_back(std::move(joined));
+        continue;
+      }
+      if (starts_with(line, "type ")) {
+        a.types.push_back(parse_type_decl(line));
+        ++i_;
+        continue;
+      }
+      if (starts_with(line, "signal ")) {
+        a.signals.push_back(parse_signal_decl(line));
+        ++i_;
+        continue;
+      }
+      fail("unexpected declaration: '" + line + "'");
+    }
+  }
+
+  static TypeDecl parse_type_decl(const std::string& line) {
+    // type N is array (0 to D-1) of std_logic_vector(W-1 downto 0);
+    TypeDecl t;
+    std::string s = line;
+    if (ends_with(s, ";")) s.pop_back();
+    const std::size_t is_at = s.find(" is array (0 to ");
+    const std::size_t of_at = s.find(") of std_logic_vector(");
+    if (!starts_with(s, "type ") || is_at == std::string::npos ||
+        of_at == std::string::npos || !ends_with(s, " downto 0)"))
+      fail("unsupported type declaration: '" + line + "'");
+    t.name = s.substr(5, is_at - 5);
+    t.depth = std::stoi(s.substr(is_at + 16, of_at - (is_at + 16))) + 1;
+    const std::size_t wb = of_at + 22;  // past ") of std_logic_vector("
+    t.elem_width =
+        std::stoi(s.substr(wb, s.size() - 10 - wb)) + 1;
+    return t;
+  }
+
+  static SignalDecl parse_signal_decl(const std::string& line) {
+    std::string s = line.substr(7);  // "signal "
+    if (ends_with(s, ";")) s.pop_back();
+    SignalDecl d;
+    const std::size_t colon = s.find(" : ");
+    if (colon == std::string::npos)
+      fail("malformed signal declaration: '" + line + "'");
+    d.name = s.substr(0, colon);
+    std::string rest = s.substr(colon + 3);
+    const std::size_t init = rest.find(" := ");
+    if (init != std::string::npos) {
+      d.init = rest.substr(init + 4);
+      rest = rest.substr(0, init);
+    }
+    if (rest == "std_logic" || starts_with(rest, "std_logic_vector(")) {
+      d.type = parse_type(rest);
+    } else {
+      d.type_name = rest;
+    }
+    return d;
+  }
+
+  void parse_concurrent(Architecture& a) {
+    const std::string line = cur();
+    const std::size_t proc = line.find(" : process");
+    if (proc != std::string::npos) {
+      parse_process(a, line, proc);
+      return;
+    }
+    if (i_ + 1 < lines_.size() && trim(lines_[i_ + 1]) == "port map (") {
+      parse_instance(a, line);
+      return;
+    }
+    ++i_;
+    const auto [text, comment] = split_comment(line);
+    const std::size_t arrow = text.find(" <= ");
+    if (arrow == std::string::npos)
+      fail("expected a concurrent statement: '" + line + "'");
+    Assign as;
+    as.lhs = parse_expr(text.substr(0, arrow));
+    as.rhs = parse_expr(text.substr(arrow + 4));
+    as.comment = comment;
+    a.body.push_back(std::move(as));
+  }
+
+  void parse_instance(Architecture& a, const std::string& head) {
+    Instance inst;
+    const std::size_t colon = head.find(" : ");
+    inst.label = head.substr(0, colon);
+    inst.component = head.substr(colon + 3);
+    i_ += 2;  // header + "port map ("
+    while (cur() != ");") {
+      std::string line = cur();
+      ++i_;
+      if (ends_with(line, ",")) line.pop_back();
+      const std::size_t arrow = line.find(" => ");
+      if (arrow == std::string::npos)
+        fail("malformed port map entry: '" + line + "'");
+      inst.port_map.emplace_back(line.substr(0, arrow),
+                                 line.substr(arrow + 4));
+    }
+    ++i_;
+    a.body.push_back(std::move(inst));
+  }
+
+  void parse_process(Architecture& a, const std::string& head,
+                     std::size_t colon_at) {
+    Process p;
+    p.label = head.substr(0, colon_at);
+    const std::string after = head.substr(colon_at + 3);  // "process..."
+    if (after != "process") {
+      if (!starts_with(after, "process (") || !ends_with(after, ")"))
+        fail("malformed process header: '" + head + "'");
+      std::string list = after.substr(9, after.size() - 10);
+      std::size_t b = 0;
+      while (b != std::string::npos) {
+        const std::size_t comma = list.find(", ", b);
+        p.sensitivity.push_back(
+            list.substr(b, comma == std::string::npos ? comma
+                                                      : comma - b));
+        b = comma == std::string::npos ? comma : comma + 2;
+      }
+    }
+    ++i_;
+    if (cur() != "begin")
+      fail("expected 'begin' after process header, got '" + cur() + "'");
+    ++i_;
+    std::vector<std::string> body;
+    while (cur() != "end process;") {
+      body.push_back(cur());
+      ++i_;
+    }
+    ++i_;
+    fold_process_body(p, std::move(body));
+    a.body.push_back(std::move(p));
+  }
+
+  /// Detects the clocked idiom —
+  ///   if <reset> = '1' then ... elsif rising_edge(<clock>) then ...
+  ///   end if;
+  /// with sensitivity (<clock>, <reset>) — and folds it back into
+  /// Process{clocked=true}.  Anything else stays a plain combinational
+  /// process.
+  static void fold_process_body(Process& p,
+                                std::vector<std::string> body) {
+    if (p.sensitivity.size() == 2 && !body.empty() &&
+        body.front() ==
+            "if " + p.sensitivity[1] + " = '1' then" &&
+        body.back() == "end if;") {
+      const std::string split_line =
+          "elsif rising_edge(" + p.sensitivity[0] + ") then";
+      int depth = 1;
+      for (std::size_t k = 1; k + 1 < body.size(); ++k) {
+        if (depth == 1 && body[k] == split_line) {
+          p.clocked = true;
+          p.clock = p.sensitivity[0];
+          p.reset = p.sensitivity[1];
+          p.sensitivity.clear();
+          p.reset_body = parse_stmts(
+              {body.begin() + 1, body.begin() + static_cast<long>(k)});
+          p.body = parse_stmts({body.begin() + static_cast<long>(k) + 1,
+                                body.end() - 1});
+          return;
+        }
+        if (starts_with(body[k], "if ") && ends_with(body[k], " then"))
+          ++depth;
+        else if (body[k] == "end if;")
+          --depth;
+      }
+    }
+    p.body = parse_stmts(std::move(body));
+  }
+
+  std::vector<std::string> lines_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+Expr parse_expr(const std::string& text) {
+  return ExprParser(trim(text)).parse();
+}
+
+DesignUnit parse_unit(const std::string& text) {
+  return UnitParser(text).parse();
+}
+
+}  // namespace hwpat::hdl

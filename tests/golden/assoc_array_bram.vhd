@@ -1,0 +1,46 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity assoc_array_bram is
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    -- methods
+    m_insert : in std_logic;
+    m_lookup : in std_logic;
+    m_remove : in std_logic;
+    m_full : in std_logic;
+    m_size : in std_logic;
+    -- params
+    data_in : in std_logic_vector(7 downto 0);
+    key : in std_logic_vector(7 downto 0);
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_en : out std_logic;
+    p_addr : out std_logic_vector(15 downto 0);
+    p_we : out std_logic;
+    p_wdata : out std_logic_vector(7 downto 0);
+    p_data : in std_logic_vector(7 downto 0)
+  );
+end assoc_array_bram;
+
+architecture rtl of assoc_array_bram is
+  signal rd_pending : std_logic := '0';
+begin
+  p_en <= m_lookup or m_insert;
+  p_addr <= std_logic_vector(resize(unsigned(key), p_addr'length) + 0);
+  p_we <= m_insert;
+  p_wdata <= data_in;
+  data <= p_data;
+  latency_track : process (clk, rst)
+  begin
+    if rst = '1' then
+      rd_pending <= '0';
+    elsif rising_edge(clk) then
+      rd_pending <= m_lookup;
+    end if;
+  end process;
+  done <= rd_pending or m_insert;
+end rtl;

@@ -1,0 +1,82 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity assoc_array_sram is
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    -- methods
+    m_insert : in std_logic;
+    m_lookup : in std_logic;
+    m_remove : in std_logic;
+    m_full : in std_logic;
+    m_size : in std_logic;
+    -- params
+    data_in : in std_logic_vector(7 downto 0);
+    key : in std_logic_vector(7 downto 0);
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_addr : out std_logic_vector(15 downto 0);
+    p_data : in std_logic_vector(7 downto 0);
+    p_wdata : out std_logic_vector(7 downto 0);
+    p_we : out std_logic;
+    req : out std_logic;
+    ack : in std_logic
+  );
+end assoc_array_sram;
+
+architecture rtl of assoc_array_sram is
+  signal state : std_logic_vector(1 downto 0) := "00";
+  signal ptr_begin : std_logic_vector(7 downto 0) := (others => '0');
+  signal ptr_end : std_logic_vector(7 downto 0) := (others => '0');
+  signal count : std_logic_vector(8 downto 0) := (others => '0');
+  signal front_reg : std_logic_vector(7 downto 0) := (others => '0');
+  signal front_valid : std_logic := '0';
+begin
+  mem_fsm : process (clk, rst)
+  begin
+    if rst = '1' then
+      state <= "00";
+      ptr_begin <= (others => '0');
+      ptr_end <= (others => '0');
+      count <= (others => '0');
+      front_valid <= '0';
+      req <= '0';
+    elsif rising_edge(clk) then
+      case state is
+        when "00" =>  -- idle
+          if m_insert = '1' then
+            p_addr <= std_logic_vector(resize(unsigned(key), p_addr'length) + 0);
+            p_wdata <= data_in;
+            p_we <= '1';
+            req <= '1';
+            state <= "01";
+          elsif m_lookup = '1' then
+            p_addr <= std_logic_vector(resize(unsigned(key), p_addr'length) + 0);
+            req <= '1';
+            state <= "10";
+          end if;
+        when "01" =>  -- write back
+          if ack = '1' then
+            req <= '0';
+            state <= "00";
+            ptr_end <= std_logic_vector(unsigned(ptr_end) + 1);
+            count <= std_logic_vector(unsigned(count) + 1);
+          end if;
+        when "10" =>  -- fetch front
+          if ack = '1' then
+            req <= '0';
+            state <= "00";
+            front_reg <= p_data;
+            front_valid <= '1';
+          end if;
+        when others =>
+          state <= "00";
+      end case;
+    end if;
+  end process;
+  data <= front_reg;
+  done <= front_valid;
+end rtl;

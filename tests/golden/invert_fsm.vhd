@@ -1,0 +1,61 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity invert_fsm is
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    -- control
+    start : in std_logic;
+    busy : out std_logic;
+    done : out std_logic;
+    -- input iterator
+    in_inc : out std_logic;
+    in_read : out std_logic;
+    in_data : in std_logic_vector(7 downto 0);
+    in_done : in std_logic;
+    -- output iterator
+    out_inc : out std_logic;
+    out_write : out std_logic;
+    out_data : out std_logic_vector(7 downto 0);
+    out_done : in std_logic
+  );
+end invert_fsm;
+
+architecture rtl of invert_fsm is
+  signal running : std_logic := '0';
+  signal go : std_logic;
+  signal transfers : std_logic_vector(6 downto 0) := (others => '0');
+  signal done_reg : std_logic := '0';
+begin
+  go <= running and in_done and out_done;
+  in_read <= go;
+  in_inc <= go;
+  out_write <= go;
+  out_inc <= go;
+  out_data <= not in_data;
+  busy <= running;
+  done <= done_reg;
+  run_ctl : process (clk, rst)
+  begin
+    if rst = '1' then
+      running <= '0';
+      transfers <= (others => '0');
+      done_reg <= '0';
+    elsif rising_edge(clk) then
+      done_reg <= '0';
+      if running = '0' and start = '1' then
+        running <= '1';
+        transfers <= (others => '0');
+      elsif go = '1' then
+        if unsigned(transfers) = 98 then
+          running <= '0';
+          done_reg <= '1';
+        else
+          transfers <= std_logic_vector(unsigned(transfers) + 1);
+        end if;
+      end if;
+    end if;
+  end process;
+end rtl;

@@ -1,0 +1,61 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity queue_bram is
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    -- methods
+    m_push : in std_logic;
+    m_pop : in std_logic;
+    m_empty : in std_logic;
+    m_full : in std_logic;
+    m_size : in std_logic;
+    -- params
+    data_in : in std_logic_vector(7 downto 0);
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_en : out std_logic;
+    p_addr : out std_logic_vector(15 downto 0);
+    p_we : out std_logic;
+    p_wdata : out std_logic_vector(7 downto 0);
+    p_data : in std_logic_vector(7 downto 0)
+  );
+end queue_bram;
+
+architecture rtl of queue_bram is
+  signal ptr_begin : std_logic_vector(7 downto 0) := (others => '0');
+  signal ptr_end : std_logic_vector(7 downto 0) := (others => '0');
+  signal rd_pending : std_logic := '0';
+begin
+  p_en <= m_pop or m_push;
+  bram_ptrs : process (clk, rst)
+  begin
+    if rst = '1' then
+      ptr_begin <= (others => '0');
+      ptr_end <= (others => '0');
+    elsif rising_edge(clk) then
+      if m_push = '1' then
+        ptr_end <= std_logic_vector(unsigned(ptr_end) + 1);
+      end if;
+      if m_pop = '1' then
+        ptr_begin <= std_logic_vector(unsigned(ptr_begin) + 1);
+      end if;
+    end if;
+  end process;
+  p_addr <= std_logic_vector(resize(unsigned(ptr_end), p_addr'length) + 0) when m_push = '1' else std_logic_vector(resize(unsigned(ptr_begin), p_addr'length) + 0);
+  p_we <= m_push;
+  p_wdata <= data_in;
+  data <= p_data;
+  latency_track : process (clk, rst)
+  begin
+    if rst = '1' then
+      rd_pending <= '0';
+    elsif rising_edge(clk) then
+      rd_pending <= m_pop;
+    end if;
+  end process;
+  done <= rd_pending or m_push;
+end rtl;

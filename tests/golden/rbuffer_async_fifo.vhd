@@ -1,0 +1,102 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity rbuffer_async_fifo is
+  port (
+    wr_clk : in std_logic;
+    wr_rst : in std_logic;
+    rd_clk : in std_logic;
+    rd_rst : in std_logic;
+    -- methods
+    m_pop : in std_logic;
+    m_empty : in std_logic;
+    -- params
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    empty : out std_logic;
+    p_write : in std_logic;
+    p_wdata : in std_logic_vector(7 downto 0);
+    p_full : out std_logic
+  );
+end rbuffer_async_fifo;
+
+architecture rtl of rbuffer_async_fifo is
+  type mem_t is array (0 to 255) of std_logic_vector(7 downto 0);
+  signal mem : mem_t;
+  signal wbin : std_logic_vector(8 downto 0) := (others => '0');
+  signal wgray : std_logic_vector(8 downto 0) := (others => '0');
+  signal rbin : std_logic_vector(8 downto 0) := (others => '0');
+  signal rgray : std_logic_vector(8 downto 0) := (others => '0');
+  signal rgray_w1 : std_logic_vector(8 downto 0) := (others => '0');
+  signal rgray_w2 : std_logic_vector(8 downto 0) := (others => '0');
+  signal wgray_r1 : std_logic_vector(8 downto 0) := (others => '0');
+  signal wgray_r2 : std_logic_vector(8 downto 0) := (others => '0');
+  signal wbin_next : std_logic_vector(8 downto 0);
+  signal wgray_next : std_logic_vector(8 downto 0);
+  signal rbin_next : std_logic_vector(8 downto 0);
+  signal rgray_next : std_logic_vector(8 downto 0);
+  signal wr_en : std_logic;
+  signal rd_en : std_logic;
+  signal full_i : std_logic;
+  signal empty_i : std_logic;
+begin
+  wbin_next <= std_logic_vector(unsigned(wbin) + 1);
+  wgray_next <= std_logic_vector(shift_right(unsigned(wbin_next), 1) xor unsigned(wbin_next));
+  rbin_next <= std_logic_vector(unsigned(rbin) + 1);
+  rgray_next <= std_logic_vector(shift_right(unsigned(rbin_next), 1) xor unsigned(rbin_next));
+  wr_en <= p_write and not full_i;
+  rd_en <= m_pop and not empty_i;
+  full_i <= '1' when wgray = (rgray_w2 xor "110000000") else '0';
+  empty_i <= '1' when rgray = wgray_r2 else '0';
+  data <= mem(to_integer(unsigned(rbin(7 downto 0))));
+  done <= not empty_i;
+  empty <= empty_i;
+  p_full <= full_i;
+  wr_ptr : process (wr_clk, wr_rst)
+  begin
+    if wr_rst = '1' then
+      wbin <= (others => '0');
+      wgray <= (others => '0');
+    elsif rising_edge(wr_clk) then
+      if wr_en = '1' then
+        mem(to_integer(unsigned(wbin(7 downto 0)))) <= p_wdata;
+        wbin <= wbin_next;
+        wgray <= wgray_next;
+      end if;
+    end if;
+  end process;
+  sync_rptr : process (wr_clk, wr_rst)
+  begin
+    if wr_rst = '1' then
+      rgray_w1 <= (others => '0');
+      rgray_w2 <= (others => '0');
+    elsif rising_edge(wr_clk) then
+      rgray_w1 <= rgray;
+      rgray_w2 <= rgray_w1;
+    end if;
+  end process;
+  rd_ptr : process (rd_clk, rd_rst)
+  begin
+    if rd_rst = '1' then
+      rbin <= (others => '0');
+      rgray <= (others => '0');
+    elsif rising_edge(rd_clk) then
+      if rd_en = '1' then
+        rbin <= rbin_next;
+        rgray <= rgray_next;
+      end if;
+    end if;
+  end process;
+  sync_wptr : process (rd_clk, rd_rst)
+  begin
+    if rd_rst = '1' then
+      wgray_r1 <= (others => '0');
+      wgray_r2 <= (others => '0');
+    elsif rising_edge(rd_clk) then
+      wgray_r1 <= wgray;
+      wgray_r2 <= wgray_r1;
+    end if;
+  end process;
+end rtl;

@@ -1,0 +1,39 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity rbuffer_fifo is
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    -- methods
+    m_pop : in std_logic;
+    m_empty : in std_logic;
+    m_size : in std_logic;
+    -- params
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_empty : in std_logic;
+    p_read : out std_logic;
+    p_data : in std_logic_vector(7 downto 0)
+  );
+end rbuffer_fifo;
+
+architecture rtl of rbuffer_fifo is
+  signal count : std_logic_vector(8 downto 0) := (others => '0');
+begin
+  p_read <= m_pop;
+  data <= p_data;
+  done <= not p_empty;
+  size_counter : process (clk, rst)
+  begin
+    if rst = '1' then
+      count <= (others => '0');
+    elsif rising_edge(clk) then
+      if m_pop = '1' then
+        count <= std_logic_vector(unsigned(count) - 1);
+      end if;
+    end if;
+  end process;
+end rtl;

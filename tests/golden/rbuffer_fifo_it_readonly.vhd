@@ -1,0 +1,26 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity rbuffer_fifo_it_readonly is
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    -- methods
+    op_read : in std_logic;
+    -- params
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    m_pop : out std_logic;
+    m_data : in std_logic_vector(7 downto 0);
+    m_done : in std_logic
+  );
+end rbuffer_fifo_it_readonly;
+
+architecture rtl of rbuffer_fifo_it_readonly is
+begin
+  data <= m_data;
+  m_pop <= op_read;
+  done <= m_done;
+end rtl;

@@ -1,0 +1,50 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity rbuffer_fifo_it_rgb is
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    -- methods
+    op_inc : in std_logic;
+    op_read : in std_logic;
+    -- params
+    data : out std_logic_vector(23 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    m_pop : out std_logic;
+    m_data : in std_logic_vector(7 downto 0);
+    m_done : in std_logic
+  );
+end rbuffer_fifo_it_rgb;
+
+architecture rtl of rbuffer_fifo_it_rgb is
+  signal lane : std_logic_vector(1 downto 0) := (others => '0');
+  signal shift_reg : std_logic_vector(23 downto 0) := (others => '0');
+  signal asm_valid : std_logic := '0';
+begin
+  m_pop <= m_done and not asm_valid;
+  data <= shift_reg;
+  done <= asm_valid;
+  width_adapt : process (clk, rst)
+  begin
+    if rst = '1' then
+      lane <= (others => '0');
+      asm_valid <= '0';
+    elsif rising_edge(clk) then
+      if m_done = '1' and asm_valid = '0' then
+        shift_reg <= m_data & shift_reg(23 downto 8);
+        if unsigned(lane) = 2 then
+          lane <= (others => '0');
+          asm_valid <= '1';
+        else
+          lane <= std_logic_vector(unsigned(lane) + 1);
+        end if;
+      end if;
+      if op_inc = '1' and asm_valid = '1' then
+        asm_valid <= '0';
+      end if;
+    end if;
+  end process;
+end rtl;

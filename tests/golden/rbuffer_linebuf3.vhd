@@ -1,0 +1,28 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity rbuffer_linebuf3 is
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    -- methods
+    m_pop : in std_logic;
+    m_empty : in std_logic;
+    m_size : in std_logic;
+    -- params
+    data : out std_logic_vector(23 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_col : in std_logic_vector(23 downto 0);
+    p_col_valid : in std_logic;
+    p_read : out std_logic
+  );
+end rbuffer_linebuf3;
+
+architecture rtl of rbuffer_linebuf3 is
+begin
+  p_read <= m_pop;
+  data <= p_col;
+  done <= p_col_valid;
+end rtl;

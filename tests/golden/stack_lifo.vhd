@@ -1,0 +1,49 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity stack_lifo is
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    -- methods
+    m_push : in std_logic;
+    m_pop : in std_logic;
+    m_empty : in std_logic;
+    m_full : in std_logic;
+    m_size : in std_logic;
+    -- params
+    data_in : in std_logic_vector(7 downto 0);
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_empty : in std_logic;
+    p_read : out std_logic;
+    p_data : in std_logic_vector(7 downto 0);
+    p_full : in std_logic;
+    p_write : out std_logic;
+    p_wdata : out std_logic_vector(7 downto 0)
+  );
+end stack_lifo;
+
+architecture rtl of stack_lifo is
+  signal count : std_logic_vector(8 downto 0) := (others => '0');
+begin
+  p_read <= m_pop;
+  data <= p_data;
+  done <= not p_empty;
+  p_write <= m_push;
+  p_wdata <= data_in;
+  size_counter : process (clk, rst)
+  begin
+    if rst = '1' then
+      count <= (others => '0');
+    elsif rising_edge(clk) then
+      if m_push = '1' and m_pop = '0' then
+        count <= std_logic_vector(unsigned(count) + 1);
+      elsif m_push = '0' and m_pop = '1' then
+        count <= std_logic_vector(unsigned(count) - 1);
+      end if;
+    end if;
+  end process;
+end rtl;

@@ -1,0 +1,44 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity vector_bram is
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    -- methods
+    m_read : in std_logic;
+    m_write : in std_logic;
+    m_size : in std_logic;
+    -- params
+    data_in : in std_logic_vector(7 downto 0);
+    addr : in std_logic_vector(15 downto 0);
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_en : out std_logic;
+    p_addr : out std_logic_vector(15 downto 0);
+    p_we : out std_logic;
+    p_wdata : out std_logic_vector(7 downto 0);
+    p_data : in std_logic_vector(7 downto 0)
+  );
+end vector_bram;
+
+architecture rtl of vector_bram is
+  signal rd_pending : std_logic := '0';
+begin
+  p_en <= m_read or m_write;
+  p_addr <= addr;
+  p_we <= m_write;
+  p_wdata <= data_in;
+  data <= p_data;
+  latency_track : process (clk, rst)
+  begin
+    if rst = '1' then
+      rd_pending <= '0';
+    elsif rising_edge(clk) then
+      rd_pending <= m_read;
+    end if;
+  end process;
+  done <= rd_pending or m_write;
+end rtl;

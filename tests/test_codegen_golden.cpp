@@ -1,0 +1,161 @@
+// Golden-file and round-trip gates over every generated unit.
+//
+// For each unit in the catalogue (every legal container binding, the
+// three example iterators, two algorithm FSMs):
+//   1. emit -> parse -> re-emit must be byte-identical — the generator
+//      never drifts outside the structured subset hdl/parse re-reads;
+//   2. the emitted text must match tests/golden/<entity>.vhd.
+//
+// To refresh the goldens after an intentional generator change:
+//   HWPAT_REGEN_GOLDEN=1 ./build/test_codegen_golden
+// which rewrites the files in-tree and prints what changed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "hdl/emit.hpp"
+#include "hdl/parse.hpp"
+#include "meta/codegen.hpp"
+
+#ifndef HWPAT_GOLDEN_DIR
+#define HWPAT_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace hwpat {
+namespace {
+
+std::vector<hdl::DesignUnit> catalogue() {
+  std::vector<hdl::DesignUnit> units;
+  // Every legal (kind, device) binding, same parameters as the
+  // example generator (examples/codegen_vhdl.cpp) so the CI artifact
+  // and the goldens describe the same library.
+  for (const auto kind :
+       {core::ContainerKind::Stack, core::ContainerKind::Queue,
+        core::ContainerKind::ReadBuffer, core::ContainerKind::WriteBuffer,
+        core::ContainerKind::Vector, core::ContainerKind::AssocArray}) {
+    for (const auto dev : core::legal_devices(kind)) {
+      meta::ContainerSpec s;
+      s.name = core::to_string(kind);
+      s.kind = kind;
+      s.device = dev;
+      s.elem_bits = 8;
+      s.depth = 256;
+      units.push_back(meta::generate_container(s));
+    }
+  }
+
+  meta::ContainerSpec rb;
+  rb.name = "rbuffer";
+  rb.kind = core::ContainerKind::ReadBuffer;
+  rb.device = devices::DeviceKind::FifoCore;
+  rb.elem_bits = 8;
+  rb.depth = 256;
+
+  meta::IteratorSpec full{.name = "it",
+                          .traversal = core::Traversal::Forward,
+                          .role = core::IterRole::Input,
+                          .used_ops = {},
+                          .container = rb};
+  units.push_back(meta::generate_iterator(full));
+
+  meta::IteratorSpec pruned = full;
+  pruned.name = "it_readonly";
+  pruned.used_ops = core::OpSet{core::Op::Read};
+  units.push_back(meta::generate_iterator(pruned));
+
+  meta::IteratorSpec rgb = full;
+  rgb.name = "it_rgb";
+  rgb.container.elem_bits = 24;
+  rgb.container.bus_bits = 8;
+  units.push_back(meta::generate_iterator(rgb));
+
+  meta::AlgorithmSpec copy;
+  units.push_back(meta::generate_algorithm(copy));
+
+  meta::AlgorithmSpec invert;
+  invert.name = "invert";
+  invert.op_vhdl = "not $x";
+  invert.count = 99;
+  units.push_back(meta::generate_algorithm(invert));
+
+  return units;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool regen_requested() {
+  const char* v = std::getenv("HWPAT_REGEN_GOLDEN");
+  return v != nullptr && *v != '\0';
+}
+
+TEST(Golden, EveryGeneratedUnitRoundTrips) {
+  for (const auto& u : catalogue()) {
+    const std::string first = meta::to_vhdl(u);
+    std::string second;
+    ASSERT_NO_THROW(second = hdl::emit_unit(hdl::parse_unit(first)))
+        << "unit: " << u.entity.name;
+    EXPECT_EQ(first, second)
+        << "emit -> parse -> re-emit drifted for " << u.entity.name;
+  }
+}
+
+TEST(Golden, EmittedTextMatchesGoldenFiles) {
+  const std::filesystem::path dir = HWPAT_GOLDEN_DIR;
+  const bool regen = regen_requested();
+  if (regen) std::filesystem::create_directories(dir);
+  int updated = 0;
+  for (const auto& u : catalogue()) {
+    const std::filesystem::path path = dir / (u.entity.name + ".vhd");
+    const std::string text = meta::to_vhdl(u);
+    if (regen) {
+      const bool existed = std::filesystem::exists(path);
+      const std::string old = existed ? read_file(path) : std::string();
+      if (old == text) continue;
+      std::ofstream(path, std::ios::binary) << text;
+      std::printf("  %s %s\n", existed ? "updated" : "created",
+                  path.c_str());
+      ++updated;
+      continue;
+    }
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << "missing golden " << path
+        << " — run with HWPAT_REGEN_GOLDEN=1 to create it";
+    EXPECT_EQ(read_file(path), text)
+        << "golden mismatch for " << u.entity.name
+        << " — if the change is intentional, regenerate with "
+           "HWPAT_REGEN_GOLDEN=1";
+  }
+  if (regen)
+    std::printf("golden regeneration: %d file(s) rewritten in %s\n",
+                updated, dir.string().c_str());
+}
+
+TEST(Golden, NoStaleGoldenFiles) {
+  // Every .vhd in the golden dir must correspond to a catalogue unit;
+  // otherwise a renamed entity would leave a dead golden behind.
+  const std::filesystem::path dir = HWPAT_GOLDEN_DIR;
+  if (!std::filesystem::exists(dir)) GTEST_SKIP();
+  std::vector<std::string> known;
+  for (const auto& u : catalogue()) known.push_back(u.entity.name + ".vhd");
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string fname = entry.path().filename().string();
+    if (entry.path().extension() != ".vhd") continue;
+    EXPECT_NE(std::find(known.begin(), known.end(), fname), known.end())
+        << "stale golden file " << fname
+        << " has no matching generated unit — delete it";
+  }
+}
+
+}  // namespace
+}  // namespace hwpat

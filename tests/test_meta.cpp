@@ -291,6 +291,96 @@ TEST(CodegenAlgo, RejectsBadWidth) {
   EXPECT_THROW(generate_algorithm(a), SpecError);
 }
 
+// ------------------------------- dual-clock FIFO core (AsyncFifoCore)
+
+ContainerSpec queue_async_spec() {
+  ContainerSpec s;
+  s.name = "queue";
+  s.kind = ContainerKind::Queue;
+  s.device = DeviceKind::AsyncFifoCore;
+  s.elem_bits = 8;
+  s.depth = 64;
+  return s;
+}
+
+TEST(CodegenAsync, DualClockCoreHasGrayPointersAndSynchronizers) {
+  const auto unit = generate_container(queue_async_spec());
+  const std::string v = to_vhdl(unit);
+
+  // One clocked process per concern, each in its own clock domain.
+  EXPECT_NE(v.find("wr_ptr : process (wr_clk, wr_rst)"),
+            std::string::npos);
+  EXPECT_NE(v.find("sync_rptr : process (wr_clk, wr_rst)"),
+            std::string::npos);
+  EXPECT_NE(v.find("rd_ptr : process (rd_clk, rd_rst)"),
+            std::string::npos);
+  EXPECT_NE(v.find("sync_wptr : process (rd_clk, rd_rst)"),
+            std::string::npos);
+
+  // Gray encoding of the next pointers: g = (b >> 1) xor b.
+  EXPECT_NE(
+      v.find("wgray_next <= std_logic_vector(shift_right("
+             "unsigned(wbin_next), 1) xor unsigned(wbin_next));"),
+      std::string::npos);
+  // depth 64 -> 6 address bits -> 7 pointer bits; full inverts the top
+  // two bits of the synchronized read gray, empty compares graypointers
+  // directly.
+  EXPECT_NE(v.find("full_i <= '1' when wgray = (rgray_w2 xor "
+                   "\"1100000\") else '0';"),
+            std::string::npos);
+  EXPECT_NE(v.find("empty_i <= '1' when rgray = wgray_r2 else '0';"),
+            std::string::npos);
+  // 2-flop synchronizer chains in both directions.
+  EXPECT_NE(v.find("rgray_w1 <= rgray;"), std::string::npos);
+  EXPECT_NE(v.find("rgray_w2 <= rgray_w1;"), std::string::npos);
+  EXPECT_NE(v.find("wgray_r1 <= wgray;"), std::string::npos);
+  EXPECT_NE(v.find("wgray_r2 <= wgray_r1;"), std::string::npos);
+  // Storage array plus show-ahead read data.
+  EXPECT_NE(v.find("type mem_t is array (0 to 63) of "
+                   "std_logic_vector(7 downto 0);"),
+            std::string::npos);
+  EXPECT_NE(
+      v.find("mem(to_integer(unsigned(wbin(5 downto 0)))) <= data_in;"),
+      std::string::npos);
+  EXPECT_NE(
+      v.find("data <= mem(to_integer(unsigned(rbin(5 downto 0))));"),
+      std::string::npos);
+  // Enables gated by the domain-local flag.
+  EXPECT_NE(v.find("wr_en <= m_push and not full_i;"), std::string::npos);
+  EXPECT_NE(v.find("rd_en <= m_pop and not empty_i;"), std::string::npos);
+}
+
+TEST(CodegenAsync, BufferBindingsGetPlatformSidePorts) {
+  // A read buffer is filled by the platform in the write domain...
+  ContainerSpec rb = queue_async_spec();
+  rb.kind = ContainerKind::ReadBuffer;
+  const auto r = generate_container(rb);
+  EXPECT_NE(r.entity.find_port("p_write"), nullptr);
+  EXPECT_NE(r.entity.find_port("p_wdata"), nullptr);
+  EXPECT_NE(r.entity.find_port("p_full"), nullptr);
+  EXPECT_NE(r.entity.find_port("empty"), nullptr);
+  EXPECT_EQ(r.entity.find_port("m_push"), nullptr);
+
+  // ...and a write buffer is drained by the platform in the read domain.
+  ContainerSpec wb = queue_async_spec();
+  wb.kind = ContainerKind::WriteBuffer;
+  const auto w = generate_container(wb);
+  EXPECT_NE(w.entity.find_port("p_read"), nullptr);
+  EXPECT_NE(w.entity.find_port("p_data"), nullptr);
+  EXPECT_NE(w.entity.find_port("p_empty"), nullptr);
+  EXPECT_NE(w.entity.find_port("full"), nullptr);
+  EXPECT_EQ(w.entity.find_port("m_pop"), nullptr);
+}
+
+TEST(CodegenAsync, RejectsNonPowerOfTwoDepthAndSize) {
+  ContainerSpec s = queue_async_spec();
+  s.depth = 100;  // gray-coded pointers need a power of two
+  EXPECT_THROW(generate_container(s), SpecError);
+  s = queue_async_spec();
+  s.used_methods = {Method::Push, Method::Pop, Method::Size};
+  EXPECT_THROW(generate_container(s), SpecError);  // no global occupancy
+}
+
 // ---------------------------------------- full catalogue generation
 
 TEST(Codegen, EveryLegalBindingGenerates) {
@@ -310,7 +400,14 @@ TEST(Codegen, EveryLegalBindingGenerates) {
       s.depth = 64;
       const auto unit = generate_container(s);
       EXPECT_FALSE(unit.entity.ports.empty());
-      EXPECT_NE(unit.entity.find_port("clk"), nullptr);
+      if (dev == DeviceKind::AsyncFifoCore) {
+        // Dual-clock: one clock/reset pair per domain, no global clk.
+        EXPECT_NE(unit.entity.find_port("wr_clk"), nullptr);
+        EXPECT_NE(unit.entity.find_port("rd_clk"), nullptr);
+        EXPECT_EQ(unit.entity.find_port("clk"), nullptr);
+      } else {
+        EXPECT_NE(unit.entity.find_port("clk"), nullptr);
+      }
       EXPECT_NE(unit.entity.find_port("done"), nullptr);
       const std::string v = to_vhdl(unit);
       EXPECT_NE(v.find("entity " + unit.entity.name), std::string::npos);

@@ -837,10 +837,11 @@ TEST(AsyncFifoSpec, ValidationRules) {
   EXPECT_THROW(meta::validate(s), SpecError);
 }
 
-TEST(AsyncFifoSpec, CodegenEmitsCoreWrapper) {
-  // The generated wrapper is the same renaming entity as the
-  // synchronous FIFO binding: the dual-clock macro (and both of its
-  // clocks) sits outside, connected through the p_* ports.
+TEST(AsyncFifoSpec, CodegenEmitsTheDualClockCore) {
+  // The generated unit carries the CDC machinery itself — gray-coded
+  // pointer pairs with 2-flop synchronizers in clocked processes, one
+  // per clock domain — rather than renaming the p_* ports of an
+  // external macro.
   for (const bool read_side : {true, false}) {
     meta::ContainerSpec s;
     s.name = read_side ? "rbuffer" : "wbuffer";
@@ -852,20 +853,32 @@ TEST(AsyncFifoSpec, CodegenEmitsCoreWrapper) {
     EXPECT_EQ(unit.entity.name,
               std::string(read_side ? "rbuffer" : "wbuffer") +
                   "_async_fifo");
-    EXPECT_NE(unit.entity.find_port("clk"), nullptr);
-    EXPECT_EQ(unit.entity.find_port("wr_clk"), nullptr);
+    // Per-domain clocks instead of a single global clk.
+    EXPECT_EQ(unit.entity.find_port("clk"), nullptr);
+    EXPECT_NE(unit.entity.find_port("wr_clk"), nullptr);
+    EXPECT_NE(unit.entity.find_port("rd_clk"), nullptr);
     EXPECT_EQ(unit.entity.find_port("m_size"), nullptr);
     if (read_side) {
-      EXPECT_NE(unit.entity.find_port("p_empty"), nullptr);
-      EXPECT_NE(unit.entity.find_port("p_read"), nullptr);
-      EXPECT_EQ(unit.entity.find_port("p_write"), nullptr);
-    } else {
-      EXPECT_NE(unit.entity.find_port("p_full"), nullptr);
+      // Platform feed in the write domain, user pop in the read domain.
       EXPECT_NE(unit.entity.find_port("p_write"), nullptr);
+      EXPECT_NE(unit.entity.find_port("p_wdata"), nullptr);
+      EXPECT_NE(unit.entity.find_port("empty"), nullptr);
       EXPECT_EQ(unit.entity.find_port("p_read"), nullptr);
+    } else {
+      // User push in the write domain, platform drain in the read one.
+      EXPECT_NE(unit.entity.find_port("p_read"), nullptr);
+      EXPECT_NE(unit.entity.find_port("p_data"), nullptr);
+      EXPECT_NE(unit.entity.find_port("full"), nullptr);
+      EXPECT_EQ(unit.entity.find_port("p_write"), nullptr);
     }
     const std::string v = meta::to_vhdl(unit);
     EXPECT_NE(v.find("entity " + unit.entity.name), std::string::npos);
+    EXPECT_NE(v.find("wr_ptr : process (wr_clk, wr_rst)"),
+              std::string::npos);
+    EXPECT_NE(v.find("rd_ptr : process (rd_clk, rd_rst)"),
+              std::string::npos);
+    EXPECT_NE(v.find("sync_rptr"), std::string::npos);
+    EXPECT_NE(v.find("sync_wptr"), std::string::npos);
     EXPECT_NE(v.find("end rtl;"), std::string::npos);
   }
 }
